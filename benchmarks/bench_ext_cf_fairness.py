@@ -1,0 +1,24 @@
+"""Extension bench: counterfactual flip rate + individual consistency."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, record_output
+
+from repro.experiments import format_ext_cf_fairness, run_ext_cf_fairness
+
+SCALE = bench_scale()
+
+
+def test_ext_counterfactual_fairness(benchmark):
+    result = benchmark.pedantic(
+        run_ext_cf_fairness,
+        kwargs={"dataset": "nba", "scale": SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    record_output("ext_cf_fairness", format_ext_cf_fairness(result))
+
+    if SCALE.epochs >= 100:
+        # The fairness loss must reduce the counterfactual flip rate — it is
+        # (a Monte-Carlo proxy of) the very quantity being minimised.
+        assert result.flip_rate_fairwos <= result.flip_rate_no_fairness + 0.02

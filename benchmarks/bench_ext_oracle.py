@@ -1,0 +1,28 @@
+"""Extension bench: Fairwos vs sensitive-attribute oracles (NIFTY, FairGNN)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, record_output
+
+from repro.experiments import format_ext_oracle, run_ext_oracle
+
+SCALE = bench_scale()
+
+
+def test_ext_oracle_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_ext_oracle,
+        kwargs={"dataset": "nba", "scale": SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    record_output("ext_oracle", format_ext_oracle(result))
+
+    if SCALE.epochs >= 100:
+        vanilla = result.cells["vanilla"]
+        fairgnn = result.cells["fairgnn"]
+        fairwos = result.cells["fairwos"]
+        # The adversarial oracle reduces bias over vanilla...
+        assert fairgnn.dsp_mean < vanilla.dsp_mean
+        # ...and Fairwos stays competitive with it despite never seeing s.
+        assert fairwos.dsp_mean < vanilla.dsp_mean

@@ -1,0 +1,29 @@
+"""Fig. 4 — ablation study (encoder / fairness / weight-update modules)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, record_output
+
+from repro.experiments import format_fig4, run_fig4
+
+SCALE = bench_scale()
+
+
+def test_fig4_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs={"datasets": ["nba", "bail"], "backbones": ["gcn", "gin"], "scale": SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    record_output("fig4_ablation", format_fig4(result))
+
+    if SCALE.epochs >= 100:
+        # Expected shapes on NBA/GCN (the paper's clearest panel):
+        full = result.cells[("nba", "gcn", "fairwos")]
+        wo_f = result.cells[("nba", "gcn", "fwos_wo_f")]
+        gnn = result.cells[("nba", "gcn", "gnn")]
+        # Removing fairness promotion hurts ΔSP.
+        assert full.dsp_mean < wo_f.dsp_mean
+        # The encoder lifts utility above the plain backbone.
+        assert wo_f.acc_mean > gnn.acc_mean - 1.0

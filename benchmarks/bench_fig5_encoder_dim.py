@@ -1,0 +1,27 @@
+"""Fig. 5 — encoder-dimension sensitivity sweep {2, 8, 16, 32}."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, record_output
+
+from repro.experiments import format_fig5, run_fig5
+
+SCALE = bench_scale()
+
+
+def test_fig5_encoder_dimension(benchmark):
+    dims = [2, 8, 16, 32] if SCALE.epochs >= 100 else [2, 8]
+    result = benchmark.pedantic(
+        run_fig5,
+        kwargs={"dataset": "nba", "dims": dims, "backbones": ["gcn", "gin"], "scale": SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    record_output("fig5_encoder_dim", format_fig5(result))
+
+    if SCALE.epochs >= 100:
+        # Shape: a too-small encoder (d=2) must not beat d=16 on accuracy —
+        # "too much information is compressed".
+        small = result.cells[("gcn", "fairwos", 2)]
+        medium = result.cells[("gcn", "fairwos", 16)]
+        assert small.acc_mean <= medium.acc_mean + 2.0

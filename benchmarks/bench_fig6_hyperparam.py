@@ -1,0 +1,25 @@
+"""Fig. 6 — α × K hyper-parameter sensitivity on Bail."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, record_output
+
+from repro.experiments import format_fig6, run_fig6
+
+SCALE = bench_scale()
+
+
+def test_fig6_alpha_k_grid(benchmark):
+    if SCALE.epochs >= 100:
+        kwargs = {"dataset": "bail", "scale": SCALE}
+    else:
+        kwargs = {"dataset": "bail", "alphas": [0.0, 2.0], "ks": [1, 2], "scale": SCALE}
+    result = benchmark.pedantic(run_fig6, kwargs=kwargs, rounds=1, iterations=1)
+    record_output("fig6_hyperparam", format_fig6(result))
+
+    # α = 0 disables the regulariser: every K column must agree there.
+    zero_rows = [result.cells[(0.0, k)] for k in result.ks if (0.0, k) in result.cells]
+    if len(zero_rows) > 1:
+        assert max(r.acc_mean for r in zero_rows) - min(
+            r.acc_mean for r in zero_rows
+        ) < 1e-9

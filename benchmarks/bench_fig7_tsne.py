@@ -1,0 +1,31 @@
+"""Fig. 7 — t-SNE of pseudo-sensitive attributes on NBA and Occupation."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, record_output
+
+from repro.experiments import format_fig7, run_fig7
+
+SCALE = bench_scale()
+
+
+def test_fig7_tsne_visualisation(benchmark):
+    iterations = 300 if SCALE.epochs >= 100 else 60
+
+    def run_both():
+        return [
+            run_fig7(dataset=name, scale=SCALE, tsne_iterations=iterations)
+            for name in ("nba", "occupation")
+        ]
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    record_output(
+        "fig7_tsne", "\n\n".join(format_fig7(result) for result in results)
+    )
+
+    if SCALE.epochs >= 100:
+        # RQ5 shape: the embedding leaks group membership above base rate —
+        # "the pseudo-sensitive attributes capture certain aspects of the
+        # sensitive attributes".
+        for result in results:
+            assert result.leakage > result.base_rate - 0.05, result.dataset

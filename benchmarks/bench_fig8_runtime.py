@@ -1,0 +1,33 @@
+"""Fig. 8 — runtime comparison of all methods and Fairwos variants (NBA)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, record_output
+
+from repro.experiments import format_fig8, run_fig8
+
+SCALE = bench_scale()
+
+
+def test_fig8_runtime(benchmark):
+    results = benchmark.pedantic(
+        lambda: [
+            run_fig8(dataset="nba", backbone=backbone, scale=SCALE)
+            for backbone in ("gcn", "gin")
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    record_output("fig8_runtime", "\n\n".join(format_fig8(r) for r in results))
+
+    gcn = results[0]
+    # Paper shapes that must hold at any scale:
+    # RemoveR trains on fewer features than vanilla — cheapest or close to it.
+    assert gcn.seconds_mean["remover"] <= gcn.seconds_mean["fairwos"]
+    # FairGKD trains two extra teachers — slower than vanilla.
+    assert gcn.seconds_mean["fairgkd"] > gcn.seconds_mean["vanilla"]
+    # Fairness fine-tuning costs time on top of w/o F.
+    assert gcn.seconds_mean["fairwos"] > gcn.seconds_mean["fwos_wo_f"]
+    # Promoting fairness on every raw attribute (w/o E) is slower than on
+    # the encoder's compact attributes.
+    assert gcn.seconds_mean["fwos_wo_e"] > gcn.seconds_mean["fwos_wo_f"]

@@ -1,0 +1,18 @@
+"""Table I — dataset statistics (generation benchmark + statistics table)."""
+
+from __future__ import annotations
+
+from conftest import record_output
+
+from repro.experiments import format_table1, run_table1
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(run_table1, kwargs={"seed": 0}, rounds=1, iterations=1)
+    record_output("table1_datasets", format_table1(rows))
+    assert len(rows) == 6
+    for row in rows:
+        # Generated degree must track the paper's statistic (calibration).
+        assert abs(row["avg_degree"] - row["paper_avg_degree"]) / row[
+            "paper_avg_degree"
+        ] < 0.2

@@ -1,0 +1,44 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper: it trains the
+involved models (timed by pytest-benchmark), prints the paper-style rows,
+and writes them to ``benchmarks/output/<name>.txt`` for inspection.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+``smoke`` (seconds, structural check only), ``quick`` (default — minutes,
+faithful shapes), ``paper`` (the full 10-seed protocol; hours on CPU).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import Scale
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def bench_scale() -> Scale:
+    """Scale selected by REPRO_BENCH_SCALE (default: quick)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    presets = {"smoke": Scale.smoke, "quick": Scale.quick, "paper": Scale.paper}
+    if name not in presets:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(presets)}, got {name!r}"
+        )
+    return presets[name]()
+
+
+def record_output(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/output/."""
+    print(f"\n{text}\n")
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def scale() -> Scale:
+    return bench_scale()

@@ -1,0 +1,100 @@
+"""End-to-end pipeline on your own tabular data.
+
+Scenario: a hiring dataset arrives as a plain table (candidate features +
+hire/no-hire outcome).  Gender was collected for compliance audits but is
+legally unusable for training.  The pipeline:
+
+1. build a similarity (kNN) graph over candidates — exactly how the paper's
+   Bail and Credit benchmarks were constructed from tables;
+2. audit the data's bias channels;
+3. select Fairwos hyper-parameters on validation accuracy only (the paper's
+   protocol — fairness cannot be validated without the sensitive attribute);
+4. report final fairness with the held-out sensitive attribute.
+
+Run with::
+
+    python examples/custom_tabular_data.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FairwosConfig, grid_search_fairwos
+from repro.baselines import Vanilla
+from repro.datasets import graph_from_table
+from repro.fairness import audit_graph
+
+
+def make_hiring_table(n: int = 900, seed: int = 0):
+    """Synthetic hiring records with a gender-biased referral channel."""
+    rng = np.random.default_rng(seed)
+    gender = (rng.random(n) < 0.4).astype(np.int64)
+    skill = rng.normal(size=n)
+    # Referral networks favour the majority group; referrals boost hiring.
+    referral = (rng.random(n) < 0.25 + 0.35 * (1 - gender)).astype(float)
+    years_experience = np.clip(rng.normal(6, 3, size=n) + skill, 0, None)
+    # Proxy features: hobby/keyword signals correlated with gender.
+    keyword_a = 0.8 * (2 * gender - 1) + rng.normal(scale=1.0, size=n)
+    keyword_b = -0.7 * (2 * gender - 1) + rng.normal(scale=1.0, size=n)
+    interview_score = skill + 0.5 * referral + rng.normal(scale=0.8, size=n)
+    hired = (
+        skill + 0.8 * referral + rng.normal(scale=1.0, size=n) > 0.4
+    ).astype(np.int64)
+    features = np.stack(
+        [skill, referral, years_experience, keyword_a, keyword_b, interview_score],
+        axis=1,
+    )
+    feature_names = [
+        "skill", "referral", "years_experience",
+        "keyword_a", "keyword_b", "interview_score",
+    ]
+    return features, hired, gender, feature_names
+
+
+def main(seed: int = 0) -> None:
+    features, hired, gender, names = make_hiring_table(seed=seed)
+    print(f"Hiring table: {features.shape[0]} candidates, features {names}")
+    print(f"  hire rate {hired.mean():.2f}; group-1 share {gender.mean():.2f}\n")
+
+    graph = graph_from_table(
+        features, hired, gender,
+        num_neighbors=8,
+        related_feature_indices=np.array([1, 3, 4]),  # suspected proxies
+        seed=seed,
+        name="hiring",
+    ).standardized()
+    print(f"Similarity graph: {graph.summary()}\n")
+
+    print(audit_graph(graph).render(top_k=4))
+    print()
+
+    vanilla = Vanilla(epochs=150, patience=30).fit(graph, seed=seed)
+    print(f"Vanilla GCN : {vanilla.test}\n")
+
+    print("Grid-searching Fairwos (validation accuracy only — no s!)...")
+    base = FairwosConfig(
+        encoder_epochs=120, classifier_epochs=120, finetune_epochs=10,
+        encoder_dim=8, patience=25, finetune_learning_rate=0.005,
+    )
+    search = grid_search_fairwos(
+        graph, base, alphas=(0.05, 1.0, 5.0), ks=(1, 5), seed=seed
+    )
+    print(search.render())
+    best = search.best_result
+    print(f"\nSelected Fairwos : {best.test}")
+    print(
+        f"ΔSP {100 * vanilla.test.delta_sp:.1f} → {100 * best.test.delta_sp:.1f}, "
+        f"ΔEO {100 * vanilla.test.delta_eo:.1f} → {100 * best.test.delta_eo:.1f}, "
+        f"ACC {100 * vanilla.test.accuracy:.1f} → {100 * best.test.accuracy:.1f}"
+    )
+    print(
+        "\nNote: selection sees ONLY validation accuracy (the sensitive\n"
+        "attribute is unavailable before deployment), so the picked point is\n"
+        "not guaranteed to be the fairest in the grid — the table above shows\n"
+        "the full utility/fairness landscape an auditor would review."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which build an editable wheel) are unavailable.
+Keeping a ``setup.py`` and omitting ``[build-system]`` from ``pyproject.toml``
+lets ``pip install -e .`` fall back to the classic ``setup.py develop`` path.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Analysis utilities: PCA, k-means(++), exact t-SNE, correlation tools.
+
+These replace the scikit-learn calls the paper's pipeline relies on (t-SNE
+for Fig. 7, k-means for the KSMOTE baseline) — scikit-learn is unavailable
+offline, and the algorithms are small enough to implement exactly.
+"""
+
+from repro.analysis.pca import pca
+from repro.analysis.kmeans import kmeans
+from repro.analysis.tsne import tsne
+from repro.analysis.correlation import pearson_correlation, correlation_with_vector
+from repro.analysis.embeddings import deepwalk_embeddings
+
+__all__ = [
+    "pca",
+    "kmeans",
+    "tsne",
+    "pearson_correlation",
+    "correlation_with_vector",
+    "deepwalk_embeddings",
+]

@@ -1,0 +1,47 @@
+"""Pearson correlation helpers (used by FairRF and dataset diagnostics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pearson_correlation", "correlation_with_vector"]
+
+
+def pearson_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson r between two 1-D arrays; 0 if either is constant."""
+    a = np.asarray(a, dtype=np.float64).reshape(-1)
+    b = np.asarray(b, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size < 2:
+        raise ValueError("need at least two observations")
+    a_centered = a - a.mean()
+    b_centered = b - b.mean()
+    denom = np.sqrt((a_centered**2).sum() * (b_centered**2).sum())
+    if denom == 0:
+        return 0.0
+    return float(np.clip((a_centered * b_centered).sum() / denom, -1.0, 1.0))
+
+
+def correlation_with_vector(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Pearson r of every column of ``matrix`` with ``vector``.
+
+    Constant columns get correlation 0.  Used to rank candidate proxy
+    features (RemoveR) and to audit how much each feature leaks the
+    sensitive attribute.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+    if matrix.shape[0] != vector.shape[0]:
+        raise ValueError(
+            f"row mismatch: matrix has {matrix.shape[0]}, vector {vector.shape[0]}"
+        )
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    v_centered = vector - vector.mean()
+    column_norms = np.sqrt((centered**2).sum(axis=0))
+    v_norm = np.sqrt((v_centered**2).sum())
+    denom = column_norms * v_norm
+    with np.errstate(invalid="ignore", divide="ignore"):
+        corr = (centered * v_centered[:, None]).sum(axis=0) / denom
+    corr[~np.isfinite(corr)] = 0.0
+    return np.clip(corr, -1.0, 1.0)

@@ -1,0 +1,83 @@
+"""Unsupervised node embeddings (DeepWalk as matrix factorisation).
+
+Implements the NetMF insight (Qiu et al., WSDM 2018): DeepWalk's skip-gram
+objective implicitly factorises a shifted PPMI matrix of the random-walk
+co-occurrence distribution.  We build that matrix exactly from the
+row-normalised adjacency (window-averaged transition powers) and factorise
+it with a truncated SVD — deterministic, no sampling noise, and well suited
+to the library's CPU-scale graphs.
+
+Used as an alternative *structure-only* encoder backbone and by the examples
+for unsupervised bias probing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.normalize import row_normalize
+
+__all__ = ["deepwalk_embeddings"]
+
+
+def deepwalk_embeddings(
+    adjacency: sp.spmatrix,
+    dimensions: int = 16,
+    window: int = 5,
+    negative: float = 1.0,
+) -> np.ndarray:
+    """Deterministic DeepWalk embeddings via shifted-PPMI factorisation.
+
+    Parameters
+    ----------
+    adjacency:
+        Symmetric binary adjacency.
+    dimensions:
+        Embedding dimensionality d.
+    window:
+        Skip-gram window T — co-occurrence averages transition-matrix powers
+        ``P¹ … P^T``.
+    negative:
+        Negative-sampling count b in the PMI shift ``log(x / b)``.
+
+    Returns
+    -------
+    ``(N, d)`` float embedding matrix (isolated nodes embed at the origin).
+    """
+    if dimensions < 1:
+        raise ValueError(f"dimensions must be >= 1, got {dimensions}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if negative <= 0:
+        raise ValueError(f"negative must be positive, got {negative}")
+    n = adjacency.shape[0]
+    if dimensions > n:
+        raise ValueError(f"dimensions {dimensions} exceeds node count {n}")
+
+    transition = row_normalize(adjacency).toarray()
+    degrees = np.asarray(sp.csr_matrix(adjacency).sum(axis=1)).reshape(-1)
+    volume = degrees.sum()
+    if volume == 0:
+        return np.zeros((n, dimensions))
+
+    # Window-averaged transition probabilities: (1/T) Σ_t P^t.
+    power = np.eye(n)
+    accumulated = np.zeros((n, n))
+    for _ in range(window):
+        power = power @ transition
+        accumulated += power
+    accumulated /= window
+
+    # NetMF closed form: M = vol/b · diag(1/d) · mean-power · diag(1/d),
+    # then PPMI = max(log M, 0).
+    inv_degrees = np.zeros(n)
+    nonzero = degrees > 0
+    inv_degrees[nonzero] = 1.0 / degrees[nonzero]
+    m = (volume / negative) * accumulated * inv_degrees[None, :]
+    with np.errstate(divide="ignore"):
+        ppmi = np.log(np.maximum(m, 1e-12))
+    np.maximum(ppmi, 0.0, out=ppmi)
+
+    u, singular_values, _ = np.linalg.svd(ppmi, full_matrices=False)
+    return u[:, :dimensions] * np.sqrt(singular_values[:dimensions])

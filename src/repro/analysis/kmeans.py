@@ -1,0 +1,75 @@
+"""Lloyd's k-means with k-means++ initialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans"]
+
+
+def _kmeanspp_init(
+    data: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centers by D² sampling."""
+    n = data.shape[0]
+    centers = np.empty((k, data.shape[1]))
+    centers[0] = data[rng.integers(n)]
+    closest_sq = ((data - centers[0]) ** 2).sum(axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            centers[i:] = data[rng.integers(n, size=k - i)]
+            break
+        probs = closest_sq / total
+        centers[i] = data[rng.choice(n, p=probs)]
+        dist = ((data - centers[i]) ** 2).sum(axis=1)
+        np.minimum(closest_sq, dist, out=closest_sq)
+    return centers
+
+
+def kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Cluster rows of ``data`` into ``k`` groups.
+
+    Returns
+    -------
+    (assignments, centers, inertia):
+        ``(N,)`` integer cluster ids, ``(k, F)`` centers and the final
+        within-cluster sum of squared distances.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    centers = _kmeanspp_init(data, k, rng)
+    assignments = np.zeros(n, dtype=np.int64)
+    for _ in range(max_iterations):
+        # Squared distances to each center: ||x||² − 2 x·c + ||c||².
+        cross = data @ centers.T
+        center_norms = (centers**2).sum(axis=1)
+        distances = center_norms[None, :] - 2.0 * cross
+        new_assignments = distances.argmin(axis=1)
+        new_centers = centers.copy()
+        for cluster in range(k):
+            members = data[new_assignments == cluster]
+            if len(members):
+                new_centers[cluster] = members.mean(axis=0)
+            else:
+                # Re-seed empty clusters at the point farthest from its center.
+                farthest = distances.min(axis=1).argmax()
+                new_centers[cluster] = data[farthest]
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        assignments = new_assignments
+        if shift < tolerance:
+            break
+    diffs = data - centers[assignments]
+    inertia = float((diffs**2).sum())
+    return assignments, centers, inertia

@@ -1,0 +1,40 @@
+"""Principal component analysis via SVD."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pca"]
+
+
+def pca(data: np.ndarray, num_components: int) -> tuple[np.ndarray, np.ndarray]:
+    """Project ``data`` onto its top principal components.
+
+    Parameters
+    ----------
+    data:
+        ``(N, F)`` matrix; rows are observations.
+    num_components:
+        Number of components to keep (≤ min(N, F)).
+
+    Returns
+    -------
+    (projected, explained_variance_ratio):
+        ``(N, num_components)`` scores and the fraction of variance each
+        component explains.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+    max_components = min(data.shape)
+    if not 1 <= num_components <= max_components:
+        raise ValueError(
+            f"num_components must be in [1, {max_components}], got {num_components}"
+        )
+    centered = data - data.mean(axis=0, keepdims=True)
+    u, singular_values, _ = np.linalg.svd(centered, full_matrices=False)
+    scores = u[:, :num_components] * singular_values[:num_components]
+    variances = singular_values**2
+    total = variances.sum()
+    ratio = variances[:num_components] / total if total > 0 else np.zeros(num_components)
+    return scores, ratio

@@ -1,0 +1,112 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) for the Fig. 7 visualisation.
+
+Implements the reference algorithm: binary-search calibration of per-point
+Gaussian bandwidths to a target perplexity, symmetrised input affinities,
+Student-t low-dimensional kernel, gradient descent with momentum and early
+exaggeration.  Exact ``O(N²)`` is fine at the paper's visualisation sizes
+(NBA has 403 nodes, Occupation test split a few hundred).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.pca import pca
+
+__all__ = ["tsne"]
+
+
+def _pairwise_sq_distances(data: np.ndarray) -> np.ndarray:
+    norms = (data**2).sum(axis=1)
+    distances = norms[:, None] + norms[None, :] - 2.0 * data @ data.T
+    np.maximum(distances, 0.0, out=distances)
+    np.fill_diagonal(distances, 0.0)
+    return distances
+
+
+def _calibrate_affinities(
+    sq_distances: np.ndarray, perplexity: float, tolerance: float = 1e-5
+) -> np.ndarray:
+    """Per-row Gaussian affinities whose entropy matches log(perplexity)."""
+    n = sq_distances.shape[0]
+    target_entropy = np.log(perplexity)
+    affinities = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(sq_distances[i], i)
+        low, high = 1e-20, 1e20
+        beta = 1.0
+        for _ in range(64):
+            weights = np.exp(-row * beta)
+            total = weights.sum()
+            if total <= 0:
+                beta /= 2.0
+                continue
+            probs = weights / total
+            entropy = -(probs * np.log(probs + 1e-300)).sum()
+            error = entropy - target_entropy
+            if abs(error) < tolerance:
+                break
+            if error > 0:
+                low = beta
+                beta = beta * 2.0 if high >= 1e20 else (beta + high) / 2.0
+            else:
+                high = beta
+                beta = beta / 2.0 if low <= 1e-20 else (beta + low) / 2.0
+        weights = np.exp(-np.delete(sq_distances[i], i) * beta)
+        probs = weights / max(weights.sum(), 1e-300)
+        affinities[i, np.arange(n) != i] = probs
+    return affinities
+
+
+def tsne(
+    data: np.ndarray,
+    rng: np.random.Generator,
+    num_components: int = 2,
+    perplexity: float = 30.0,
+    iterations: int = 400,
+    learning_rate: float = 100.0,
+    early_exaggeration: float = 4.0,
+    exaggeration_iterations: int = 50,
+) -> np.ndarray:
+    """Embed rows of ``data`` into ``num_components`` dimensions.
+
+    Returns an ``(N, num_components)`` embedding, PCA-initialised for
+    determinism given the rng (rng only jitters the init).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n = data.shape[0]
+    if n < 5:
+        raise ValueError(f"need at least 5 points, got {n}")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    conditional = _calibrate_affinities(_pairwise_sq_distances(data), perplexity)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    np.maximum(joint, 1e-12, out=joint)
+
+    init_components = min(num_components, min(data.shape))
+    embedding = pca(data, init_components)[0]
+    if init_components < num_components:
+        embedding = np.pad(embedding, ((0, 0), (0, num_components - init_components)))
+    embedding = embedding / max(embedding.std(), 1e-12) * 1e-4
+    embedding = embedding + rng.normal(scale=1e-6, size=embedding.shape)
+
+    velocity = np.zeros_like(embedding)
+    for iteration in range(iterations):
+        exaggeration = early_exaggeration if iteration < exaggeration_iterations else 1.0
+        momentum = 0.5 if iteration < exaggeration_iterations else 0.8
+
+        sq = _pairwise_sq_distances(embedding)
+        student = 1.0 / (1.0 + sq)
+        np.fill_diagonal(student, 0.0)
+        q = student / max(student.sum(), 1e-300)
+        np.maximum(q, 1e-12, out=q)
+
+        coefficient = (exaggeration * joint - q) * student
+        gradient = 4.0 * (
+            np.diag(coefficient.sum(axis=1)) - coefficient
+        ) @ embedding
+
+        velocity = momentum * velocity - learning_rate * gradient
+        embedding = embedding + velocity
+        embedding = embedding - embedding.mean(axis=0, keepdims=True)
+    return embedding

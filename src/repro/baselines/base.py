@@ -1,0 +1,83 @@
+"""Common interface and result type for all comparison methods."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fairness import EvalResult, evaluate_predictions
+from repro.graph import Graph
+
+__all__ = ["MethodResult", "BaselineMethod"]
+
+
+@dataclass
+class MethodResult:
+    """Outcome of one method run on one graph/seed.
+
+    ``seconds`` is total wall-clock training time (the quantity plotted in
+    the paper's Fig. 8); ``extra`` carries method-specific diagnostics.
+    """
+
+    method: str
+    test: EvalResult
+    validation: EvalResult
+    seconds: float
+    extra: dict = field(default_factory=dict)
+
+
+class BaselineMethod:
+    """Base class: subclasses implement :meth:`_train_logits`.
+
+    Parameters
+    ----------
+    backbone:
+        GNN backbone name ("gcn", "gin", "gat", "sage").
+    hidden_dim, num_layers, epochs, lr, patience:
+        Shared training recipe (paper defaults: 16 hidden units, 1 layer,
+        Adam lr 0.001, early stopping on validation accuracy).
+    """
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        backbone: str = "gcn",
+        hidden_dim: int = 16,
+        num_layers: int = 1,
+        epochs: int = 200,
+        lr: float = 1e-3,
+        patience: int | None = 40,
+    ) -> None:
+        self.backbone = backbone
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.epochs = epochs
+        self.lr = lr
+        self.patience = patience
+
+    # ------------------------------------------------------------------ #
+    def fit(self, graph: Graph, seed: int = 0) -> MethodResult:
+        """Train on ``graph`` and evaluate on its validation/test splits."""
+        start = time.perf_counter()
+        logits, extra = self._train_logits(graph, np.random.default_rng(seed))
+        seconds = time.perf_counter() - start
+        return MethodResult(
+            method=self.name,
+            test=evaluate_predictions(
+                logits, graph.labels, graph.sensitive, graph.test_mask
+            ),
+            validation=evaluate_predictions(
+                logits, graph.labels, graph.sensitive, graph.val_mask
+            ),
+            seconds=seconds,
+            extra=extra,
+        )
+
+    def _train_logits(
+        self, graph: Graph, rng: np.random.Generator
+    ) -> tuple[np.ndarray, dict]:
+        """Train and return full-graph logits plus diagnostics."""
+        raise NotImplementedError

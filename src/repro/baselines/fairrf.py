@@ -1,0 +1,121 @@
+"""FairRF — fairness via related features (Zhao et al., WSDM 2022).
+
+The method assumes a set of *related features* — non-sensitive columns known
+to correlate with the hidden sensitive attribute — and minimises the squared
+Pearson correlation between the model's predicted probability and each
+related feature.  Per-feature weights live on a simplex and are re-solved in
+closed form each epoch, emphasising the currently most-correlated features
+(the same machinery as Fairwos's λ update, with the "prefer high" sign).
+
+The related features come from ``graph.related_feature_indices``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineMethod
+from repro.core.weights import WeightUpdater
+from repro.graph import Graph
+from repro.gnnzoo import make_backbone
+from repro.nn import binary_cross_entropy_with_logits
+from repro.optim import Adam
+from repro.tensor import Tensor
+from repro.tensor import ops
+from repro.training import predict_logits
+from repro.fairness.metrics import accuracy
+
+__all__ = ["FairRF"]
+
+
+def _differentiable_correlation(prediction, feature_column: np.ndarray):
+    """Squared Pearson correlation between a prediction tensor and a column."""
+    column = feature_column - feature_column.mean()
+    denom_col = float(np.sqrt((column**2).sum()))
+    if denom_col == 0:
+        return None
+    centered = ops.sub(prediction, ops.mean(prediction))
+    cov = ops.sum(ops.mul(centered, Tensor(column)))
+    var = ops.add(ops.sum(ops.power(centered, 2.0)), 1e-12)
+    corr = ops.div(cov, ops.mul(ops.sqrt(var), denom_col))
+    return ops.power(corr, 2.0)
+
+
+class FairRF(BaselineMethod):
+    """Correlation-to-related-features regularisation with learned weights.
+
+    Parameters
+    ----------
+    beta:
+        Regularisation strength on the weighted correlation term.
+    """
+
+    name = "FairRF"
+
+    def __init__(self, beta: float = 1.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if beta < 0:
+            raise ValueError(f"beta must be non-negative, got {beta}")
+        self.beta = beta
+
+    def _train_logits(self, graph: Graph, rng: np.random.Generator):
+        related = graph.related_feature_indices
+        if related.size == 0:
+            raise ValueError(
+                "FairRF needs graph.related_feature_indices (candidate "
+                "related features)"
+            )
+        model = make_backbone(
+            self.backbone, graph.num_features, self.hidden_dim, rng,
+            num_layers=self.num_layers,
+        )
+        features = Tensor(graph.features)
+        columns = [graph.features[:, j].copy() for j in related]
+        updater = WeightUpdater(
+            len(columns), alpha=self.beta, prefer_high_disparity=True
+        )
+        optimizer = Adam(model.parameters(), lr=self.lr)
+        train_idx = np.where(graph.train_mask)[0]
+        train_labels = graph.labels[train_idx].astype(np.float64)
+        best_val, best_state, since_best = -1.0, model.state_dict(), 0
+
+        for _ in range(self.epochs):
+            model.train()
+            optimizer.zero_grad()
+            logits = model(features, graph.adjacency)
+            loss = binary_cross_entropy_with_logits(logits[train_idx], train_labels)
+            probs = ops.sigmoid(logits)
+            correlations = np.zeros(len(columns))
+            reg = None
+            for j, column in enumerate(columns):
+                corr_sq = _differentiable_correlation(probs, column)
+                if corr_sq is None:
+                    continue
+                correlations[j] = float(corr_sq.data)
+                term = ops.mul(corr_sq, float(updater.weights[j]))
+                reg = term if reg is None else ops.add(reg, term)
+            if reg is not None:
+                loss = ops.add(loss, ops.mul(reg, self.beta))
+            loss.backward()
+            optimizer.step()
+            updater.update(correlations)
+
+            val_logits = predict_logits(model, features, graph.adjacency)[
+                graph.val_mask
+            ]
+            val_acc = accuracy(
+                (val_logits > 0).astype(np.int64), graph.labels[graph.val_mask]
+            )
+            if val_acc > best_val:
+                best_val, best_state, since_best = val_acc, model.state_dict(), 0
+            else:
+                since_best += 1
+                if self.patience is not None and since_best > self.patience:
+                    break
+
+        model.load_state_dict(best_state)
+        logits = predict_logits(model, features, graph.adjacency)
+        return logits, {
+            "related_features": int(related.size),
+            "final_weights": updater.weights.copy(),
+        }

@@ -1,0 +1,22 @@
+"""Oracle baselines — methods that *do* see the sensitive attribute.
+
+The paper's related work (Section VI-B) motivates Fairwos against
+counterfactual-fairness methods that require the sensitive attribute at
+training time.  These re-implementations serve as **upper-bound references**
+for the no-sensitive-attribute setting:
+
+* :class:`NIFTY` (Agarwal et al., UAI 2021) — counterfactual + stability
+  regularisation by perturbing the sensitive feature and dropping edges;
+* :class:`FairGNN` (Dai & Wang, TKDE 2023) — adversarial debiasing with an
+  adversary that tries to recover the sensitive attribute from the
+  representation.
+
+They are intentionally *excluded* from the Table II roster (which is the
+paper's no-sensitive-attribute comparison) but appear in the extension
+benchmarks and tests.
+"""
+
+from repro.baselines.oracle.nifty import NIFTY
+from repro.baselines.oracle.fairgnn import FairGNN
+
+__all__ = ["NIFTY", "FairGNN"]

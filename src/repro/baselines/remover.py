@@ -1,0 +1,54 @@
+"""RemoveR — drop the candidate related attributes, then train vanilla.
+
+The pre-processing baseline of Section V-A-3: all features suspected of
+proxying the sensitive attribute are deleted before training.  Which columns
+count as "candidate related" is supplied by ``graph.related_feature_indices``
+(the synthetic generators expose the ground-truth proxy columns; on real
+data a practitioner would provide the list, as in the FairRF setting).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineMethod
+from repro.graph import Graph
+from repro.gnnzoo import make_backbone
+from repro.tensor import Tensor
+from repro.training import fit_binary_classifier, predict_logits
+
+__all__ = ["RemoveR"]
+
+
+class RemoveR(BaselineMethod):
+    """Pre-processing baseline: train on the graph minus proxy columns."""
+
+    name = "RemoveR"
+
+    def _train_logits(self, graph: Graph, rng: np.random.Generator):
+        if graph.related_feature_indices.size == 0:
+            raise ValueError(
+                "RemoveR needs graph.related_feature_indices (candidate proxy "
+                "columns) to know what to remove"
+            )
+        if graph.related_feature_indices.size >= graph.num_features:
+            raise ValueError("cannot remove every feature column")
+        reduced = graph.without_columns(graph.related_feature_indices)
+        model = make_backbone(
+            self.backbone, reduced.num_features, self.hidden_dim, rng,
+            num_layers=self.num_layers,
+        )
+        features = Tensor(reduced.features)
+        fit_binary_classifier(
+            model,
+            features,
+            reduced.adjacency,
+            reduced.labels,
+            reduced.train_mask,
+            reduced.val_mask,
+            epochs=self.epochs,
+            lr=self.lr,
+            patience=self.patience,
+        )
+        logits = predict_logits(model, features, reduced.adjacency)
+        return logits, {"removed_columns": int(graph.related_feature_indices.size)}

@@ -1,0 +1,39 @@
+"""Vanilla\\S — the plain backbone trained without sensitive attributes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import BaselineMethod
+from repro.graph import Graph
+from repro.gnnzoo import make_backbone
+from repro.tensor import Tensor
+from repro.training import fit_binary_classifier, predict_logits
+
+__all__ = ["Vanilla"]
+
+
+class Vanilla(BaselineMethod):
+    """Backbone GNN with plain cross-entropy training (no fairness)."""
+
+    name = "Vanilla\\S"
+
+    def _train_logits(self, graph: Graph, rng: np.random.Generator):
+        model = make_backbone(
+            self.backbone, graph.num_features, self.hidden_dim, rng,
+            num_layers=self.num_layers,
+        )
+        features = Tensor(graph.features)
+        history = fit_binary_classifier(
+            model,
+            features,
+            graph.adjacency,
+            graph.labels,
+            graph.train_mask,
+            graph.val_mask,
+            epochs=self.epochs,
+            lr=self.lr,
+            patience=self.patience,
+        )
+        logits = predict_logits(model, features, graph.adjacency)
+        return logits, {"best_epoch": history.best_epoch}

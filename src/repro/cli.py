@@ -1,0 +1,169 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+datasets
+    List the available benchmark datasets with their statistics.
+run
+    Train one method on one dataset and print its evaluation.
+audit
+    Print the data-side + vanilla-model bias audit of a dataset.
+table1 / table2 / fig4 / fig5 / fig6 / fig7 / fig8
+    Regenerate a paper table/figure at a chosen scale.
+
+Examples
+--------
+::
+
+    python -m repro datasets
+    python -m repro run --method fairwos --dataset nba --seed 0
+    python -m repro audit --dataset occupation
+    python -m repro table2 --datasets nba bail --backbones gcn --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.datasets import available_datasets, load_dataset
+from repro.experiments import (
+    Scale,
+    available_methods,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_table1,
+    format_table2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_method,
+    run_table1,
+    run_table2,
+)
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = {"smoke": Scale.smoke, "quick": Scale.quick, "paper": Scale.paper}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fairwos reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list benchmark datasets")
+
+    run_parser = sub.add_parser("run", help="train one method on one dataset")
+    run_parser.add_argument("--method", choices=available_methods(), default="fairwos")
+    run_parser.add_argument("--dataset", choices=available_datasets(), default="nba")
+    run_parser.add_argument("--backbone", default="gcn")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--epochs", type=int, default=150)
+
+    audit_parser = sub.add_parser("audit", help="bias audit of a dataset")
+    audit_parser.add_argument("--dataset", choices=available_datasets(), default="nba")
+    audit_parser.add_argument("--seed", type=int, default=0)
+
+    for name in ("table1", "table2", "fig4", "fig5", "fig6", "fig7", "fig8"):
+        exp_parser = sub.add_parser(name, help=f"regenerate {name}")
+        exp_parser.add_argument("--scale", choices=sorted(_SCALES), default="quick")
+        if name == "table2":
+            exp_parser.add_argument("--datasets", nargs="+", default=None)
+            exp_parser.add_argument("--backbones", nargs="+", default=None)
+            exp_parser.add_argument("--methods", nargs="+", default=None)
+        if name in ("fig5", "fig6", "fig7", "fig8"):
+            exp_parser.add_argument("--dataset", default=None)
+    return parser
+
+
+def _cmd_datasets() -> str:
+    lines = ["available datasets:"]
+    for name in available_datasets():
+        graph = load_dataset(name, seed=0)
+        lines.append(f"  {graph.summary()}  [sensitive: {graph.meta['sensitive_name']}]")
+    return "\n".join(lines)
+
+
+def _cmd_run(args) -> str:
+    graph = load_dataset(args.dataset, seed=args.seed)
+    result = run_method(
+        args.method, graph, backbone=args.backbone, seed=args.seed, epochs=args.epochs
+    )
+    return (
+        f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}):\n"
+        f"  {result.test}\n  trained in {result.seconds:.1f}s"
+    )
+
+
+def _cmd_audit(args) -> str:
+    from repro.baselines import Vanilla
+    from repro.fairness.audit import audit_graph, audit_predictions
+    from repro.gnnzoo import make_backbone
+    from repro.tensor import Tensor
+    from repro.training import fit_binary_classifier, predict_logits
+
+    graph = load_dataset(args.dataset, seed=args.seed)
+    report = audit_graph(graph).render()
+    model = make_backbone("gcn", graph.num_features, 16, np.random.default_rng(args.seed))
+    features = Tensor(graph.features)
+    fit_binary_classifier(
+        model, features, graph.adjacency, graph.labels,
+        graph.train_mask, graph.val_mask, epochs=150, patience=30,
+    )
+    logits = predict_logits(model, features, graph.adjacency)
+    model_report = audit_predictions(logits, graph).render()
+    return f"{graph.summary()}\n\n{report}\n\n{model_report}"
+
+
+def main(argv: list[str] | None = None) -> str:
+    """Entry point; returns the rendered output (also printed)."""
+    args = build_parser().parse_args(argv)
+    scale = _SCALES[getattr(args, "scale", "quick")]() if hasattr(args, "scale") else None
+
+    if args.command == "datasets":
+        output = _cmd_datasets()
+    elif args.command == "run":
+        output = _cmd_run(args)
+    elif args.command == "audit":
+        output = _cmd_audit(args)
+    elif args.command == "table1":
+        output = format_table1(run_table1())
+    elif args.command == "table2":
+        output = format_table2(
+            run_table2(
+                datasets=args.datasets,
+                backbones=args.backbones,
+                methods=args.methods,
+                scale=scale,
+            )
+        )
+    elif args.command == "fig4":
+        output = format_fig4(run_fig4(scale=scale))
+    elif args.command == "fig5":
+        output = format_fig5(run_fig5(dataset=args.dataset or "nba", scale=scale))
+    elif args.command == "fig6":
+        output = format_fig6(run_fig6(dataset=args.dataset or "bail", scale=scale))
+    elif args.command == "fig7":
+        output = format_fig7(run_fig7(dataset=args.dataset or "nba", scale=scale))
+    elif args.command == "fig8":
+        output = format_fig8(run_fig8(dataset=args.dataset or "nba", scale=scale))
+    else:  # pragma: no cover - argparse enforces choices
+        raise ValueError(f"unhandled command {args.command!r}")
+
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

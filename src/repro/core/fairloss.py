@@ -1,0 +1,85 @@
+"""Fair representation learning loss (Section III-E).
+
+Given representations ``h`` and a counterfactual index, the regulariser pulls
+every node's embedding towards the embeddings of its top-K counterfactuals:
+
+.. math::
+
+    D_i = \\frac{1}{N} Σ_v Σ_{k=1}^{K} ||h_v − h^k_{i,v}||_2^2
+    \\qquad
+    L_F = Σ_i λ_i · D_i
+
+(Eq. 13–14; distances are squared L2, matching Eq. 33 of the convergence
+analysis).  The per-attribute disparities ``D_i`` are also returned as
+detached numpy values — they feed the λ update (Eq. 24).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.counterfactual import CounterfactualIndex
+from repro.tensor import Tensor
+from repro.tensor import ops
+
+__all__ = ["fair_representation_loss"]
+
+
+def fair_representation_loss(
+    representations: Tensor,
+    counterfactuals: CounterfactualIndex,
+    weights: np.ndarray,
+) -> tuple[Tensor, np.ndarray]:
+    """Compute the weighted counterfactual-consistency loss.
+
+    Parameters
+    ----------
+    representations:
+        ``(N, d)`` tensor ``h`` from the GNN classifier (gradients flow).
+    counterfactuals:
+        Index from :class:`~repro.core.counterfactual.CounterfactualSearch`.
+    weights:
+        ``(I,)`` simplex weights λ.
+
+    Returns
+    -------
+    (loss, disparities):
+        Scalar loss tensor ``Σ_i λ_i D_i`` and the detached ``(I,)`` array of
+        per-attribute disparities ``D_i`` (sum over K of the masked mean
+        squared distance).  Invalid (node, attribute) pairs — those without a
+        real counterfactual — contribute zero.
+    """
+    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+    num_attrs, num_nodes, top_k = counterfactuals.indices.shape
+    if weights.shape != (num_attrs,):
+        raise ValueError(
+            f"expected {num_attrs} weights, got shape {weights.shape}"
+        )
+    if representations.shape[0] != num_nodes:
+        raise ValueError(
+            f"representations rows {representations.shape[0]} != index nodes {num_nodes}"
+        )
+
+    disparities = np.zeros(num_attrs)
+    loss: Tensor | None = None
+    for attr in range(num_attrs):
+        valid_mask = counterfactuals.valid[attr].astype(np.float64)
+        valid_count = float(valid_mask.sum())
+        if valid_count == 0:
+            continue
+        attr_term: Tensor | None = None
+        for k in range(top_k):
+            cf_rows = ops.gather(representations, counterfactuals.indices[attr, :, k])
+            sq_dist = ops.sum(
+                ops.power(ops.sub(representations, cf_rows), 2.0), axis=1
+            )
+            masked = ops.mul(sq_dist, Tensor(valid_mask))
+            term = ops.div(ops.sum(masked), valid_count)
+            attr_term = term if attr_term is None else ops.add(attr_term, term)
+        disparities[attr] = float(attr_term.data)
+        if weights[attr] != 0.0:
+            weighted = ops.mul(attr_term, float(weights[attr]))
+            loss = weighted if loss is None else ops.add(loss, weighted)
+    if loss is None:
+        loss = Tensor(np.zeros(()))
+    return loss, disparities

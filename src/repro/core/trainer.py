@@ -1,0 +1,283 @@
+"""Fairwos training algorithm (Algorithm 1 of the paper).
+
+Phases:
+
+1. pre-train the encoder on node classification and extract the
+   pseudo-sensitive attributes ``X(0)`` (lines 1–3);
+2. pre-train the GNN classifier on ``X(0)`` (line 4) — this model also
+   provides pseudo-labels for unlabelled nodes;
+3. fine-tune: alternate gradient steps on θ (Eq. 16) with closed-form KKT
+   updates of λ (Eq. 24), re-searching graph counterfactuals as the
+   representation space moves (lines 5–13).
+
+The ablation flags of :class:`~repro.core.config.FairwosConfig` disable
+individual modules to produce the paper's Fig. 4 variants.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import FairwosConfig
+from repro.core.counterfactual import CounterfactualIndex, CounterfactualSearch
+from repro.core.encoder import EncoderModule, binarize_attributes
+from repro.core.fairloss import fair_representation_loss
+from repro.core.weights import WeightUpdater
+from repro.fairness import EvalResult, evaluate_predictions
+from repro.fairness.metrics import accuracy
+from repro.gnnzoo import make_backbone
+from repro.graph import Graph
+from repro.nn import binary_cross_entropy_with_logits
+from repro.optim import Adam
+from repro.tensor import Tensor, no_grad
+from repro.training import fit_binary_classifier, predict_logits
+
+__all__ = ["FairwosTrainer", "FairwosResult"]
+
+
+@dataclass
+class FairwosResult:
+    """Everything a Fairwos run produces.
+
+    ``pseudo_attributes`` holds the continuous ``X(0)`` matrix (used by the
+    Fig. 7 t-SNE); ``timings`` holds per-phase wall-clock seconds (Fig. 8).
+    """
+
+    test: EvalResult
+    validation: EvalResult
+    lambda_weights: np.ndarray
+    pseudo_attributes: np.ndarray
+    counterfactual_coverage: float
+    history: dict[str, list[float]] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time across phases."""
+        return float(sum(self.timings.values()))
+
+
+class FairwosTrainer:
+    """End-to-end Fairwos runner.
+
+    Example
+    -------
+    >>> from repro.datasets import load_dataset
+    >>> from repro.core import FairwosTrainer, FairwosConfig
+    >>> graph = load_dataset("nba", seed=0)
+    >>> result = FairwosTrainer(FairwosConfig(alpha=0.05, top_k=5)).fit(graph, seed=0)
+    >>> print(result.test)            # doctest: +SKIP
+    """
+
+    def __init__(self, config: FairwosConfig | None = None) -> None:
+        self.config = config or FairwosConfig()
+        self.config.validate()
+        self.classifier = None
+        self.encoder: EncoderModule | None = None
+        self._pseudo_features: Tensor | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, graph: Graph, seed: int = 0) -> FairwosResult:
+        """Run Algorithm 1 on ``graph`` and evaluate on its test split."""
+        config = self.config
+        rng = np.random.default_rng(seed)
+        features = Tensor(graph.features)
+        adjacency = graph.adjacency
+        labels = graph.labels
+        timings: dict[str, float] = {}
+        history: dict[str, list[float]] = {
+            "finetune_loss": [],
+            "finetune_utility_loss": [],
+            "finetune_fair_loss": [],
+            "finetune_val_accuracy": [],
+        }
+
+        # -- Phase 1: encoder → pseudo-sensitive attributes ------------- #
+        start = time.perf_counter()
+        if config.use_encoder:
+            self.encoder = EncoderModule(
+                graph.num_features,
+                config.encoder_dim,
+                rng,
+                backbone=config.encoder_backbone,
+            )
+            self.encoder.pretrain(
+                features,
+                adjacency,
+                labels,
+                graph.train_mask,
+                graph.val_mask,
+                epochs=config.encoder_epochs,
+                lr=config.learning_rate,
+                patience=config.patience,
+            )
+            pseudo_raw = self.encoder.extract(features, adjacency)
+        else:
+            # "Fwos w/o E": fairness is promoted on every raw non-sensitive
+            # attribute individually.
+            pseudo_raw = graph.features.copy()
+        pseudo = _standardize(pseudo_raw)
+        if (
+            config.max_pseudo_attributes is not None
+            and pseudo.shape[1] > config.max_pseudo_attributes
+        ):
+            variances = pseudo.var(axis=0)
+            keep = np.sort(np.argsort(variances)[::-1][: config.max_pseudo_attributes])
+            pseudo = pseudo[:, keep]
+        binary_attrs = binarize_attributes(pseudo, config.binarize_quantile)
+        timings["encoder"] = time.perf_counter() - start
+
+        # -- Phase 2: pre-train the GNN classifier on X(0) --------------- #
+        start = time.perf_counter()
+        self.classifier = make_backbone(
+            config.backbone,
+            pseudo.shape[1],
+            config.hidden_dim,
+            rng,
+            num_layers=config.num_layers,
+            dropout=config.dropout,
+        )
+        pseudo_tensor = Tensor(pseudo)
+        self._pseudo_features = pseudo_tensor
+        fit_binary_classifier(
+            self.classifier,
+            pseudo_tensor,
+            adjacency,
+            labels,
+            graph.train_mask,
+            graph.val_mask,
+            epochs=config.classifier_epochs,
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+            patience=config.patience,
+        )
+        # Pseudo-labels: ground truth on the labelled (train) nodes, model
+        # predictions elsewhere (Section III-D).
+        logits = predict_logits(self.classifier, pseudo_tensor, adjacency)
+        pseudo_labels = (logits > 0).astype(np.int64)
+        pseudo_labels[graph.train_mask] = labels[graph.train_mask]
+        timings["classifier_pretrain"] = time.perf_counter() - start
+
+        # -- Phase 3: fairness fine-tuning ------------------------------- #
+        start = time.perf_counter()
+        updater = WeightUpdater(
+            binary_attrs.shape[1],
+            alpha=config.alpha,
+            prefer_high_disparity=config.prefer_high_disparity,
+        )
+        coverage = 0.0
+        if config.use_fairness:
+            coverage = self._finetune(
+                graph, pseudo_tensor, binary_attrs, pseudo_labels, updater, history
+            )
+        timings["finetune"] = time.perf_counter() - start
+
+        test_logits = predict_logits(self.classifier, pseudo_tensor, adjacency)
+        return FairwosResult(
+            test=evaluate_predictions(
+                test_logits, labels, graph.sensitive, graph.test_mask
+            ),
+            validation=evaluate_predictions(
+                test_logits, labels, graph.sensitive, graph.val_mask
+            ),
+            lambda_weights=updater.weights.copy(),
+            pseudo_attributes=pseudo,
+            counterfactual_coverage=coverage,
+            history=history,
+            timings=timings,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _finetune(
+        self,
+        graph: Graph,
+        pseudo_tensor: Tensor,
+        binary_attrs: np.ndarray,
+        pseudo_labels: np.ndarray,
+        updater: WeightUpdater,
+        history: dict[str, list[float]],
+    ) -> float:
+        """Lines 5–13 of Algorithm 1. Returns final counterfactual coverage."""
+        config = self.config
+        classifier = self.classifier
+        adjacency = graph.adjacency
+        train_indices = np.where(graph.train_mask)[0]
+        train_labels = graph.labels[train_indices].astype(np.float64)
+        optimizer = Adam(
+            classifier.parameters(),
+            lr=config.finetune_learning_rate or config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        search = CounterfactualSearch(config.top_k)
+        cf_index: CounterfactualIndex | None = None
+        coverage = 0.0
+        # "Early stop operation to preserve competitive utility": abort the
+        # fairness fine-tuning if validation accuracy falls more than
+        # ``finetune_val_tolerance`` below its pre-finetune level, keeping
+        # the last state above the floor.
+        floor_logits = predict_logits(classifier, pseudo_tensor, adjacency)[
+            graph.val_mask
+        ]
+        floor = accuracy(
+            (floor_logits > 0).astype(np.int64), graph.labels[graph.val_mask]
+        ) - (config.finetune_val_tolerance or np.inf)
+        last_good_state = classifier.state_dict()
+
+        for epoch in range(config.finetune_epochs):
+            if cf_index is None or epoch % config.refresh_counterfactuals_every == 0:
+                with no_grad():
+                    reps = classifier.embed(pseudo_tensor, adjacency).data
+                cf_index = search.search(reps, pseudo_labels, binary_attrs)
+                coverage = cf_index.coverage()
+
+            classifier.train()
+            optimizer.zero_grad()
+            h = classifier.embed(pseudo_tensor, adjacency)
+            logits = classifier.head(h).reshape(-1)
+            utility = binary_cross_entropy_with_logits(
+                logits[train_indices], train_labels
+            )
+            fair, disparities = fair_representation_loss(
+                h, cf_index, updater.weights
+            )
+            total = utility + config.alpha * fair
+            total.backward()
+            optimizer.step()
+
+            if config.use_weight_update:
+                updater.update(disparities)
+
+            val_logits = predict_logits(classifier, pseudo_tensor, adjacency)[
+                graph.val_mask
+            ]
+            val_acc = accuracy(
+                (val_logits > 0).astype(np.int64), graph.labels[graph.val_mask]
+            )
+            history["finetune_loss"].append(float(total.data))
+            history["finetune_utility_loss"].append(float(utility.data))
+            history["finetune_fair_loss"].append(float(fair.data))
+            history["finetune_val_accuracy"].append(val_acc)
+            if val_acc >= floor:
+                last_good_state = classifier.state_dict()
+            elif config.finetune_val_tolerance is not None:
+                classifier.load_state_dict(last_good_state)
+                break
+        return coverage
+
+    # ------------------------------------------------------------------ #
+    def predict(self, graph: Graph) -> np.ndarray:
+        """Logits of the fitted model on ``graph`` (requires ``fit`` first)."""
+        if self.classifier is None or self._pseudo_features is None:
+            raise RuntimeError("call fit() before predict()")
+        return predict_logits(self.classifier, self._pseudo_features, graph.adjacency)
+
+
+def _standardize(matrix: np.ndarray) -> np.ndarray:
+    """Z-score columns; constant columns become zero."""
+    mean = matrix.mean(axis=0, keepdims=True)
+    std = matrix.std(axis=0, keepdims=True)
+    std[std == 0] = 1.0
+    return (matrix - mean) / std

@@ -1,0 +1,250 @@
+"""Named datasets matched to the paper's Table I.
+
+Each :class:`DatasetSpec` records the real dataset's published statistics
+(nodes, attributes, average degree, sensitive attribute, task) alongside the
+scaled-down size we actually generate, plus the bias parameters chosen so
+the *phenomenology* matches what the paper reports for that dataset — e.g.
+NBA shows very large vanilla ΔSP (≈28%), Pokec-n a small one (≈1–3%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.causal import BiasSpec, generate_biased_graph
+from repro.graph import Graph
+
+__all__ = [
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "available_datasets",
+    "load_dataset",
+    "dataset_statistics_rows",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata + generation recipe for one named benchmark dataset."""
+
+    name: str
+    paper_nodes: int
+    paper_attributes: int
+    paper_edges: int
+    paper_average_degree: float
+    sensitive_name: str
+    label_name: str
+    description: str
+    generated_nodes: int
+    bias: BiasSpec = field(default_factory=BiasSpec)
+
+    def generate(self, seed: int = 0) -> Graph:
+        """Instantiate the synthetic equivalent of this dataset."""
+        graph = generate_biased_graph(
+            num_nodes=self.generated_nodes,
+            num_features=self.paper_attributes,
+            average_degree=self.paper_average_degree,
+            spec=self.bias,
+            seed=seed,
+            name=self.name,
+        )
+        graph.meta.update(
+            {
+                "paper_nodes": self.paper_nodes,
+                "paper_edges": self.paper_edges,
+                "sensitive_name": self.sensitive_name,
+                "label_name": self.label_name,
+                "description": self.description,
+            }
+        )
+        return graph
+
+
+# Bias parameters per dataset, tuned so the *vanilla* unfairness ordering of
+# Table II is preserved: NBA and Occupation show severe bias, Bail and Credit
+# moderate bias, Pokec-z mild and Pokec-n the mildest.
+DATASET_SPECS: dict[str, DatasetSpec] = {
+    "bail": DatasetSpec(
+        name="bail",
+        paper_nodes=18_876,
+        paper_attributes=18,
+        paper_edges=311_870,
+        paper_average_degree=34.04,
+        sensitive_name="race",
+        label_name="bail / no bail",
+        description=(
+            "Defendants released on bail 1990-2009, connected by similarity "
+            "of criminal records and demographics; semi-synthetic."
+        ),
+        generated_nodes=1_600,
+        bias=BiasSpec(
+            group_balance=0.45,
+            label_bias=0.05,
+            proxy_fraction=0.3,
+            proxy_strength=0.6,
+            label_signal_strength=0.3,
+            feature_noise=1.4,
+            group_homophily=1.5,
+            label_homophily=1.5,
+        ),
+    ),
+    "credit": DatasetSpec(
+        name="credit",
+        paper_nodes=30_000,
+        paper_attributes=13,
+        paper_edges=1_421_858,
+        paper_average_degree=95.79,
+        sensitive_name="age",
+        label_name="default / no default",
+        description=(
+            "Credit-card clients connected by similar spending and payment "
+            "patterns; semi-synthetic."
+        ),
+        generated_nodes=1_500,
+        bias=BiasSpec(
+            group_balance=0.5,
+            label_bias=0.15,
+            proxy_fraction=0.3,
+            proxy_strength=1.0,
+            label_signal_strength=0.1,
+            feature_noise=1.5,
+            group_homophily=2.0,
+            label_homophily=1.0,
+        ),
+    ),
+    "pokec_z": DatasetSpec(
+        name="pokec_z",
+        paper_nodes=67_797,
+        paper_attributes=277,
+        paper_edges=617_958,
+        paper_average_degree=19.23,
+        sensitive_name="region",
+        label_name="working field",
+        description="Slovak social network sample (province z), 2012.",
+        generated_nodes=1_400,
+        bias=BiasSpec(
+            group_balance=0.5,
+            label_bias=0.05,
+            proxy_fraction=0.15,
+            proxy_strength=1.2,
+            label_signal_strength=0.07,
+            feature_noise=2.3,
+            group_homophily=1.0,
+            label_homophily=0.8,
+        ),
+    ),
+    "pokec_n": DatasetSpec(
+        name="pokec_n",
+        paper_nodes=66_569,
+        paper_attributes=266,
+        paper_edges=517_047,
+        paper_average_degree=16.53,
+        sensitive_name="region",
+        label_name="working field",
+        description="Slovak social network sample (province n), 2012.",
+        generated_nodes=1_400,
+        bias=BiasSpec(
+            group_balance=0.5,
+            label_bias=0.01,
+            proxy_fraction=0.1,
+            proxy_strength=0.3,
+            label_signal_strength=0.07,
+            feature_noise=2.4,
+            group_homophily=2.0,
+            label_homophily=0.8,
+        ),
+    ),
+    "nba": DatasetSpec(
+        name="nba",
+        paper_nodes=403,
+        paper_attributes=39,
+        paper_edges=10_621,
+        paper_average_degree=53.71,
+        sensitive_name="nationality",
+        label_name="salary above median",
+        description=(
+            "NBA players of the 2016-17 season with Twitter links; kept at "
+            "its true size (the smallest paper dataset)."
+        ),
+        generated_nodes=403,
+        bias=BiasSpec(
+            group_balance=0.25,
+            label_bias=0.15,
+            proxy_fraction=0.35,
+            proxy_strength=1.2,
+            label_signal_strength=0.08,
+            feature_noise=4.5,
+            group_homophily=4.0,
+            label_homophily=1.0,
+        ),
+    ),
+    "occupation": DatasetSpec(
+        name="occupation",
+        paper_nodes=6_951,
+        paper_attributes=768,
+        paper_edges=44_166,
+        paper_average_degree=13.71,
+        sensitive_name="gender",
+        label_name="psychology / computer science",
+        description="Twitter users classified psychology vs computer science.",
+        generated_nodes=800,
+        bias=BiasSpec(
+            group_balance=0.5,
+            label_bias=0.45,
+            proxy_fraction=0.2,
+            proxy_strength=2.6,
+            label_signal_strength=0.15,
+            feature_noise=2.2,
+            group_homophily=4.0,
+            label_homophily=1.2,
+            latent_dim=12,
+        ),
+    ),
+}
+
+
+def available_datasets() -> list[str]:
+    """Names accepted by :func:`load_dataset`."""
+    return sorted(DATASET_SPECS)
+
+
+def load_dataset(name: str, seed: int = 0, standardize: bool = True) -> Graph:
+    """Generate the named dataset's synthetic equivalent.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets` (case-insensitive; "pokec-z" and
+        "pokec_z" both work).
+    seed:
+        Generation seed; different seeds give i.i.d. re-draws from the same
+        causal model (the paper instead re-splits a fixed graph — re-drawing
+        is the honest analogue for a generator).
+    standardize:
+        Z-score feature columns (recommended for the numpy training stack).
+    """
+    key = name.lower().replace("-", "_")
+    if key not in DATASET_SPECS:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    graph = DATASET_SPECS[key].generate(seed=seed)
+    return graph.standardized() if standardize else graph
+
+
+def dataset_statistics_rows() -> list[dict[str, object]]:
+    """Rows mirroring the paper's Table I (plus our generated sizes)."""
+    rows = []
+    for spec in DATASET_SPECS.values():
+        rows.append(
+            {
+                "dataset": spec.name,
+                "paper_nodes": spec.paper_nodes,
+                "paper_attributes": spec.paper_attributes,
+                "paper_edges": spec.paper_edges,
+                "paper_avg_degree": spec.paper_average_degree,
+                "sensitive": spec.sensitive_name,
+                "label": spec.label_name,
+                "generated_nodes": spec.generated_nodes,
+                "description": spec.description,
+            }
+        )
+    return rows

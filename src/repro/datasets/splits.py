@@ -1,0 +1,37 @@
+"""Train/validation/test split utilities (paper: random 50% / 25% / 25%)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["random_split_masks"]
+
+
+def random_split_masks(
+    num_nodes: int,
+    rng: np.random.Generator,
+    train_fraction: float = 0.5,
+    val_fraction: float = 0.25,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random node partition into boolean (train, val, test) masks.
+
+    The test fraction is the remainder ``1 - train - val``.  Fractions must
+    be positive and sum to at most 1.
+    """
+    if train_fraction <= 0 or val_fraction <= 0:
+        raise ValueError("split fractions must be positive")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError(
+            "train_fraction + val_fraction must leave room for a test split, "
+            f"got {train_fraction} + {val_fraction}"
+        )
+    order = rng.permutation(num_nodes)
+    n_train = int(round(train_fraction * num_nodes))
+    n_val = int(round(val_fraction * num_nodes))
+    train_mask = np.zeros(num_nodes, dtype=bool)
+    val_mask = np.zeros(num_nodes, dtype=bool)
+    test_mask = np.zeros(num_nodes, dtype=bool)
+    train_mask[order[:n_train]] = True
+    val_mask[order[n_train : n_train + n_val]] = True
+    test_mask[order[n_train + n_val :]] = True
+    return train_mask, val_mask, test_mask

@@ -1,0 +1,53 @@
+"""Aggregation helpers shared by the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import MethodResult
+
+__all__ = ["MetricSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean ± std of the (ACC, ΔSP, ΔEO) triple over repeated runs.
+
+    Values are percentages, matching the units of the paper's tables.
+    """
+
+    acc_mean: float
+    acc_std: float
+    dsp_mean: float
+    dsp_std: float
+    deo_mean: float
+    deo_std: float
+    runs: int
+
+    def row(self) -> str:
+        """One formatted table cell group: ACC / ΔSP / ΔEO with stds."""
+        return (
+            f"{self.acc_mean:5.2f}±{self.acc_std:4.2f}  "
+            f"{self.dsp_mean:5.2f}±{self.dsp_std:4.2f}  "
+            f"{self.deo_mean:5.2f}±{self.deo_std:4.2f}"
+        )
+
+
+def summarize(results: list[MethodResult]) -> MetricSummary:
+    """Aggregate repeated runs of one method into a :class:`MetricSummary`."""
+    if not results:
+        raise ValueError("cannot summarize zero runs")
+    accs = np.array([100.0 * r.test.accuracy for r in results])
+    dsps = np.array([100.0 * r.test.delta_sp for r in results])
+    deos = np.array([100.0 * r.test.delta_eo for r in results])
+    return MetricSummary(
+        acc_mean=float(accs.mean()),
+        acc_std=float(accs.std()),
+        dsp_mean=float(dsps.mean()),
+        dsp_std=float(dsps.std()),
+        deo_mean=float(deos.mean()),
+        deo_std=float(deos.std()),
+        runs=len(results),
+    )

@@ -1,0 +1,132 @@
+"""Fig. 4 — ablation study on NBA and Bail.
+
+Compares the backbone GNN, full Fairwos, and the three module ablations:
+``Fwos w/o E`` (no encoder), ``Fwos w/o F`` (no fairness promotion) and
+``Fwos w/o W`` (no weight updating), on GCN and GIN backbones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines import Vanilla
+from repro.baselines.base import MethodResult
+from repro.core import FairwosConfig, FairwosTrainer
+from repro.datasets import load_dataset
+from repro.experiments.aggregate import MetricSummary, summarize
+from repro.experiments.methods import FAIRWOS_OVERRIDES
+from repro.experiments.scale import Scale
+
+__all__ = ["Fig4Result", "run_fig4", "format_fig4", "VARIANTS"]
+
+VARIANTS = ["gnn", "fwos_wo_e", "fwos_wo_f", "fwos_wo_w", "fairwos"]
+
+_DISPLAY = {
+    "gnn": "GNN",
+    "fwos_wo_e": "Fwos w/o E",
+    "fwos_wo_f": "Fwos w/o F",
+    "fwos_wo_w": "Fwos w/o W",
+    "fairwos": "Fairwos",
+}
+
+
+@dataclass
+class Fig4Result:
+    """Summaries keyed by ``(dataset, backbone, variant)``."""
+
+    datasets: list[str]
+    backbones: list[str]
+    cells: dict[tuple[str, str, str], MetricSummary] = field(default_factory=dict)
+    runtimes: dict[tuple[str, str, str], float] = field(default_factory=dict)
+
+
+def _variant_config(
+    variant: str, dataset: str, backbone: str, scale: Scale
+) -> FairwosConfig:
+    overrides = FAIRWOS_OVERRIDES.get(dataset, FAIRWOS_OVERRIDES["default"])
+    config = FairwosConfig(
+        backbone=backbone,
+        encoder_epochs=scale.epochs,
+        classifier_epochs=scale.epochs,
+        finetune_epochs=scale.finetune_epochs,
+        patience=scale.patience,
+        **overrides,
+    )
+    if variant == "fwos_wo_e":
+        config.use_encoder = False
+        # Raw attributes can be many; cap the pseudo-attribute count so the
+        # counterfactual search stays tractable (documented deviation).
+        config.max_pseudo_attributes = 64
+    elif variant == "fwos_wo_f":
+        config.use_fairness = False
+    elif variant == "fwos_wo_w":
+        config.use_weight_update = False
+    elif variant != "fairwos":
+        raise ValueError(f"unknown variant {variant!r}")
+    return config
+
+
+def run_variant(
+    variant: str,
+    dataset: str,
+    backbone: str,
+    seed: int,
+    scale: Scale,
+) -> MethodResult:
+    """Train one ablation variant; ``gnn`` maps to the Vanilla baseline."""
+    graph = load_dataset(dataset, seed=seed)
+    if variant == "gnn":
+        return Vanilla(
+            backbone=backbone, epochs=scale.epochs, patience=scale.patience
+        ).fit(graph, seed=seed)
+    config = _variant_config(variant, dataset, backbone, scale)
+    start = time.perf_counter()
+    result = FairwosTrainer(config).fit(graph, seed=seed)
+    seconds = time.perf_counter() - start
+    return MethodResult(
+        method=_DISPLAY[variant],
+        test=result.test,
+        validation=result.validation,
+        seconds=seconds,
+        extra={"timings": result.timings},
+    )
+
+
+def run_fig4(
+    datasets: list[str] | None = None,
+    backbones: list[str] | None = None,
+    variants: list[str] | None = None,
+    scale: Scale | None = None,
+) -> Fig4Result:
+    """Run the ablation grid of Fig. 4."""
+    datasets = datasets or ["nba", "bail"]
+    backbones = backbones or ["gcn", "gin"]
+    variants = variants or list(VARIANTS)
+    scale = scale or Scale.quick()
+    result = Fig4Result(datasets=datasets, backbones=backbones)
+    for dataset in datasets:
+        for backbone in backbones:
+            for variant in variants:
+                runs = [
+                    run_variant(variant, dataset, backbone, seed, scale)
+                    for seed in range(scale.seeds)
+                ]
+                key = (dataset, backbone, variant)
+                result.cells[key] = summarize(runs)
+                result.runtimes[key] = sum(r.seconds for r in runs) / len(runs)
+    return result
+
+
+def format_fig4(result: Fig4Result) -> str:
+    """Render the ablation bars as rows of ACC / ΔSP / ΔEO."""
+    lines = ["Fig. 4: ablation — ACC(↑)  ΔSP(↓)  ΔEO(↓), % mean±std"]
+    for dataset in result.datasets:
+        for backbone in result.backbones:
+            lines.append(f"\n=== {dataset} / {backbone.upper()} ===")
+            for variant in VARIANTS:
+                key = (dataset, backbone, variant)
+                if key not in result.cells:
+                    continue
+                lines.append(f"  {_DISPLAY[variant]:12s} {result.cells[key].row()}")
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Fig. 5 — sensitivity to the encoder dimension (RQ3).
+
+Sweeps the pseudo-sensitive attribute dimensionality over {2, 8, 16, 32} for
+GCN and GIN backbones, comparing the backbone GNN, full Fairwos, and Fairwos
+w/o F.  Expected shape: shrinking the dimension first keeps accuracy above
+the backbone (denoising) and reduces bias, then collapses accuracy once too
+much information is compressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import Vanilla
+from repro.core import FairwosConfig, FairwosTrainer
+from repro.datasets import load_dataset
+from repro.experiments.aggregate import MetricSummary, summarize
+from repro.experiments.methods import FAIRWOS_OVERRIDES
+from repro.experiments.scale import Scale
+from repro.baselines.base import MethodResult
+
+__all__ = ["Fig5Result", "run_fig5", "format_fig5"]
+
+SERIES = ["gnn", "fairwos", "fwos_wo_f"]
+_DISPLAY = {"gnn": "GNN", "fairwos": "Fairwos", "fwos_wo_f": "Fwos w/o F"}
+
+
+@dataclass
+class Fig5Result:
+    """Summaries keyed by ``(backbone, series, dim)``; gnn ignores dim."""
+
+    dataset: str
+    dims: list[int]
+    backbones: list[str]
+    cells: dict[tuple[str, str, int], MetricSummary] = field(default_factory=dict)
+
+
+def run_fig5(
+    dataset: str = "nba",
+    dims: list[int] | None = None,
+    backbones: list[str] | None = None,
+    scale: Scale | None = None,
+) -> Fig5Result:
+    """Sweep the encoder dimension."""
+    dims = dims or [2, 8, 16, 32]
+    backbones = backbones or ["gcn", "gin"]
+    scale = scale or Scale.quick()
+    overrides = FAIRWOS_OVERRIDES.get(dataset, FAIRWOS_OVERRIDES["default"])
+    result = Fig5Result(dataset=dataset, dims=dims, backbones=backbones)
+    for backbone in backbones:
+        gnn_runs = []
+        for seed in range(scale.seeds):
+            graph = load_dataset(dataset, seed=seed)
+            gnn_runs.append(
+                Vanilla(
+                    backbone=backbone, epochs=scale.epochs, patience=scale.patience
+                ).fit(graph, seed=seed)
+            )
+        result.cells[(backbone, "gnn", 0)] = summarize(gnn_runs)
+        for dim in dims:
+            for series in ("fairwos", "fwos_wo_f"):
+                runs: list[MethodResult] = []
+                for seed in range(scale.seeds):
+                    graph = load_dataset(dataset, seed=seed)
+                    config = FairwosConfig(
+                        backbone=backbone,
+                        encoder_dim=dim,
+                        encoder_epochs=scale.epochs,
+                        classifier_epochs=scale.epochs,
+                        finetune_epochs=scale.finetune_epochs,
+                        patience=scale.patience,
+                        use_fairness=(series == "fairwos"),
+                        **overrides,
+                    )
+                    fit = FairwosTrainer(config).fit(graph, seed=seed)
+                    runs.append(
+                        MethodResult(
+                            method=_DISPLAY[series],
+                            test=fit.test,
+                            validation=fit.validation,
+                            seconds=fit.total_seconds,
+                        )
+                    )
+                result.cells[(backbone, series, dim)] = summarize(runs)
+    return result
+
+
+def format_fig5(result: Fig5Result) -> str:
+    """Render the dimension sweep as one row per (backbone, series, dim)."""
+    lines = [
+        f"Fig. 5: encoder-dimension sweep on {result.dataset} — "
+        "ACC(↑)  ΔSP(↓)  ΔEO(↓), % mean±std"
+    ]
+    for backbone in result.backbones:
+        lines.append(f"\n=== {backbone.upper()} ===")
+        summary = result.cells[(backbone, "gnn", 0)]
+        lines.append(f"  {'GNN (any dim)':16s} {summary.row()}")
+        for series in ("fairwos", "fwos_wo_f"):
+            for dim in result.dims:
+                summary = result.cells[(backbone, series, dim)]
+                label = f"{_DISPLAY[series]} d={dim}"
+                lines.append(f"  {label:16s} {summary.row()}")
+    return "\n".join(lines)

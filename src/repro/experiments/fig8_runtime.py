@@ -1,0 +1,102 @@
+"""Fig. 8 — runtime comparison (RQ6) on the NBA dataset.
+
+Measures mean wall-clock training time of every baseline, Fairwos, and the
+three Fairwos ablation variants, over repeated runs.  Expected shape per the
+paper: RemoveR fastest; KSMOTE/FairRF comparable to Fairwos; FairGKD slower
+(two extra teachers); ``Fwos w/o E`` slower than full Fairwos (fairness is
+promoted on every raw attribute); ``w/o F`` and ``w/o W`` faster than full
+Fairwos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets import load_dataset
+from repro.experiments.fig4_ablation import run_variant
+from repro.experiments.methods import display_name, run_method
+from repro.experiments.scale import Scale
+
+__all__ = ["Fig8Result", "run_fig8", "format_fig8", "RUNTIME_ENTRIES"]
+
+RUNTIME_ENTRIES = [
+    "vanilla",
+    "remover",
+    "ksmote",
+    "fairrf",
+    "fairgkd",
+    "fwos_wo_w",
+    "fwos_wo_e",
+    "fwos_wo_f",
+    "fairwos",
+]
+
+_VARIANTS = {"fwos_wo_w", "fwos_wo_e", "fwos_wo_f"}
+_VARIANT_DISPLAY = {
+    "fwos_wo_w": "Fwos w/o W",
+    "fwos_wo_e": "Fwos w/o E",
+    "fwos_wo_f": "Fwos w/o F",
+}
+
+
+@dataclass
+class Fig8Result:
+    """Mean ± std seconds per entry."""
+
+    dataset: str
+    backbone: str
+    seconds_mean: dict[str, float] = field(default_factory=dict)
+    seconds_std: dict[str, float] = field(default_factory=dict)
+
+
+def run_fig8(
+    dataset: str = "nba",
+    backbone: str = "gcn",
+    scale: Scale | None = None,
+    entries: list[str] | None = None,
+) -> Fig8Result:
+    """Time every method/variant over ``scale.seeds`` runs."""
+    scale = scale or Scale.quick()
+    entries = entries or list(RUNTIME_ENTRIES)
+    result = Fig8Result(dataset=dataset, backbone=backbone)
+    for entry in entries:
+        times = []
+        for seed in range(scale.seeds):
+            if entry in _VARIANTS:
+                run = run_variant(entry, dataset, backbone, seed, scale)
+            elif entry == "fairwos":
+                run = run_variant("fairwos", dataset, backbone, seed, scale)
+            else:
+                graph = load_dataset(dataset, seed=seed)
+                run = run_method(
+                    entry,
+                    graph,
+                    backbone=backbone,
+                    seed=seed,
+                    epochs=scale.epochs,
+                    finetune_epochs=scale.finetune_epochs,
+                    patience=scale.patience,
+                )
+            times.append(run.seconds)
+        result.seconds_mean[entry] = float(np.mean(times))
+        result.seconds_std[entry] = float(np.std(times))
+    return result
+
+
+def format_fig8(result: Fig8Result) -> str:
+    """Render the runtime bars."""
+    lines = [
+        f"Fig. 8: mean training time on {result.dataset} "
+        f"({result.backbone.upper()}), seconds"
+    ]
+    for entry, mean in result.seconds_mean.items():
+        label = (
+            _VARIANT_DISPLAY[entry]
+            if entry in _VARIANT_DISPLAY
+            else ("Fairwos" if entry == "fairwos" else display_name(entry))
+        )
+        std = result.seconds_std[entry]
+        lines.append(f"  {label:12s} {mean:7.2f} ± {std:5.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Experiment scale presets.
+
+The paper runs every experiment 10 times with long training budgets; that is
+hours of CPU time on this substrate.  :class:`Scale` bundles the knobs so
+benchmarks default to a quick-but-faithful configuration while
+``Scale.paper()`` reproduces the full protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Seeds and epoch budgets shared by all experiments.
+
+    Attributes
+    ----------
+    seeds:
+        Number of repetitions (paper: 10).
+    epochs:
+        Pre-training epochs for every method (paper: 1000 with early stop).
+    finetune_epochs:
+        Fairwos fine-tuning epochs (paper: 15).
+    patience:
+        Early-stopping patience on validation accuracy.
+    """
+
+    seeds: int = 2
+    epochs: int = 150
+    finetune_epochs: int = 15
+    patience: int = 30
+
+    @staticmethod
+    def quick() -> "Scale":
+        """Fast setting used by the benchmark suite (minutes, not hours)."""
+        return Scale(seeds=2, epochs=120, finetune_epochs=15, patience=25)
+
+    @staticmethod
+    def smoke() -> "Scale":
+        """Tiny setting for tests."""
+        return Scale(seeds=1, epochs=30, finetune_epochs=4, patience=10)
+
+    @staticmethod
+    def paper() -> "Scale":
+        """The paper's protocol (10 repetitions, long budgets)."""
+        return Scale(seeds=10, epochs=1000, finetune_epochs=15, patience=60)

@@ -1,0 +1,88 @@
+"""Table II — main comparison: six methods × {GCN, GIN} × six datasets.
+
+For every (dataset, backbone, method) cell the harness repeats training over
+``scale.seeds`` seeds and reports mean ± std of ACC / ΔSP / ΔEO, exactly the
+quantity the paper tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets import load_dataset
+from repro.experiments.aggregate import MetricSummary, summarize
+from repro.experiments.methods import METHOD_ORDER, display_name, run_method
+from repro.experiments.scale import Scale
+
+__all__ = ["Table2Result", "run_table2", "format_table2", "PAPER_TABLE2_GCN"]
+
+# Paper values (GCN backbone) as (ACC, ΔSP, ΔEO) for the shape comparison in
+# EXPERIMENTS.md: vanilla and Fairwos rows of Table II.
+PAPER_TABLE2_GCN: dict[str, dict[str, tuple[float, float, float]]] = {
+    "bail": {"vanilla": (83.89, 5.69, 3.42), "fairwos": (86.56, 5.06, 3.91)},
+    "credit": {"vanilla": (73.77, 11.63, 9.58), "fairwos": (73.54, 9.22, 7.55)},
+    "pokec_z": {"vanilla": (69.74, 8.11, 6.41), "fairwos": (70.60, 5.03, 4.96)},
+    "pokec_n": {"vanilla": (68.88, 1.39, 2.57), "fairwos": (70.44, 1.25, 1.83)},
+    "nba": {"vanilla": (66.38, 28.34, 23.70), "fairwos": (68.22, 10.16, 7.16)},
+    "occupation": {"vanilla": (81.99, 28.56, 17.10), "fairwos": (81.76, 25.16, 13.34)},
+}
+
+
+@dataclass
+class Table2Result:
+    """Nested summaries: ``cells[(dataset, backbone, method)]``."""
+
+    datasets: list[str]
+    backbones: list[str]
+    methods: list[str]
+    cells: dict[tuple[str, str, str], MetricSummary] = field(default_factory=dict)
+
+    def get(self, dataset: str, backbone: str, method: str) -> MetricSummary:
+        """Summary for one table cell."""
+        return self.cells[(dataset, backbone, method)]
+
+
+def run_table2(
+    datasets: list[str] | None = None,
+    backbones: list[str] | None = None,
+    methods: list[str] | None = None,
+    scale: Scale | None = None,
+) -> Table2Result:
+    """Run the Table II grid and aggregate over seeds."""
+    datasets = datasets or ["bail", "credit", "pokec_z", "pokec_n", "nba", "occupation"]
+    backbones = backbones or ["gcn", "gin"]
+    methods = methods or list(METHOD_ORDER)
+    scale = scale or Scale.quick()
+    result = Table2Result(datasets=datasets, backbones=backbones, methods=methods)
+    for dataset in datasets:
+        for backbone in backbones:
+            for method in methods:
+                runs = []
+                for seed in range(scale.seeds):
+                    graph = load_dataset(dataset, seed=seed)
+                    runs.append(
+                        run_method(
+                            method,
+                            graph,
+                            backbone=backbone,
+                            seed=seed,
+                            epochs=scale.epochs,
+                            finetune_epochs=scale.finetune_epochs,
+                            patience=scale.patience,
+                        )
+                    )
+                result.cells[(dataset, backbone, method)] = summarize(runs)
+    return result
+
+
+def format_table2(result: Table2Result) -> str:
+    """Render the grid in the paper's layout (method rows per backbone)."""
+    lines = ["Table II: node classification — ACC(↑)  ΔSP(↓)  ΔEO(↓), % mean±std"]
+    for dataset in result.datasets:
+        lines.append(f"\n=== {dataset} ===")
+        for backbone in result.backbones:
+            lines.append(f"  [{backbone.upper()}]")
+            for method in result.methods:
+                summary = result.get(dataset, backbone, method)
+                lines.append(f"    {display_name(method):12s} {summary.row()}")
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Fairness and utility metrics plus the shared evaluation harness."""
+
+from repro.fairness.metrics import (
+    accuracy,
+    consistency_score,
+    auc_score,
+    counterfactual_flip_rate,
+    demographic_parity_difference,
+    equal_opportunity_difference,
+    f1_score,
+    group_confusion,
+    group_positive_rates,
+)
+from repro.fairness.evaluation import EvalResult, evaluate_predictions
+from repro.fairness.audit import BiasAudit, audit_graph, audit_predictions
+
+__all__ = [
+    "accuracy",
+    "consistency_score",
+    "auc_score",
+    "f1_score",
+    "demographic_parity_difference",
+    "equal_opportunity_difference",
+    "counterfactual_flip_rate",
+    "group_positive_rates",
+    "group_confusion",
+    "EvalResult",
+    "evaluate_predictions",
+    "BiasAudit",
+    "audit_graph",
+    "audit_predictions",
+]

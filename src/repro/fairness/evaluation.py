@@ -1,0 +1,92 @@
+"""Shared evaluation harness producing the paper's reported triple.
+
+Every trainer in this repository returns test logits; this module turns them
+into the (ACC, ΔSP, ΔEO) triple of Table II, plus auxiliary scores (F1, AUC)
+used by extra analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fairness import metrics
+
+__all__ = ["EvalResult", "evaluate_predictions"]
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Utility + fairness scores of one trained model on one node set.
+
+    All values are fractions in [0, 1]; the paper's tables multiply by 100.
+    """
+
+    accuracy: float
+    delta_sp: float
+    delta_eo: float
+    f1: float
+    auc: float
+    positive_rate_s0: float
+    positive_rate_s1: float
+    num_nodes: int
+
+    def as_percentages(self) -> dict[str, float]:
+        """Scores ×100 in the units used by the paper's tables."""
+        return {
+            "ACC": 100.0 * self.accuracy,
+            "dSP": 100.0 * self.delta_sp,
+            "dEO": 100.0 * self.delta_eo,
+            "F1": 100.0 * self.f1,
+            "AUC": 100.0 * self.auc,
+        }
+
+    def __str__(self) -> str:
+        p = self.as_percentages()
+        return (
+            f"ACC {p['ACC']:.2f}  ΔSP {p['dSP']:.2f}  ΔEO {p['dEO']:.2f} "
+            f"(F1 {p['F1']:.2f}, AUC {p['AUC']:.2f}, n={self.num_nodes})"
+        )
+
+
+def evaluate_predictions(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    sensitive: np.ndarray,
+    mask: np.ndarray | None = None,
+    threshold: float = 0.0,
+) -> EvalResult:
+    """Score logits against labels and the sensitive attribute.
+
+    Parameters
+    ----------
+    logits:
+        Raw binary scores, shape ``(N,)``; prediction is ``logit > threshold``.
+    labels, sensitive:
+        Ground truth and the *evaluation-only* sensitive attribute.
+    mask:
+        Optional boolean node subset (typically ``graph.test_mask``).
+    threshold:
+        Decision threshold on the logit scale (0 ⇔ probability 0.5).
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels)
+    sensitive = np.asarray(sensitive)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        logits, labels, sensitive = logits[mask], labels[mask], sensitive[mask]
+    if logits.size == 0:
+        raise ValueError("empty evaluation set")
+    predictions = (logits > threshold).astype(np.int64)
+    rate0, rate1 = metrics.group_positive_rates(predictions, sensitive)
+    return EvalResult(
+        accuracy=metrics.accuracy(predictions, labels),
+        delta_sp=metrics.demographic_parity_difference(predictions, sensitive),
+        delta_eo=metrics.equal_opportunity_difference(predictions, labels, sensitive),
+        f1=metrics.f1_score(predictions, labels),
+        auc=metrics.auc_score(logits, labels),
+        positive_rate_s0=rate0,
+        positive_rate_s1=rate1,
+        num_nodes=int(logits.size),
+    )

@@ -1,0 +1,189 @@
+"""Utility and group-fairness metrics.
+
+Implements the paper's evaluation metrics: accuracy (utility), statistical /
+demographic parity difference ΔSP (Eq. 43) and equal opportunity difference
+ΔEO (Eq. 44), both computed between the two groups of a binary sensitive
+attribute on the test set.  All metric values are returned as fractions in
+``[0, 1]`` — the paper reports them as percentages (multiply by 100).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "consistency_score",
+    "f1_score",
+    "auc_score",
+    "demographic_parity_difference",
+    "equal_opportunity_difference",
+    "group_positive_rates",
+    "group_confusion",
+    "counterfactual_flip_rate",
+]
+
+
+def _validate_binary(name: str, values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values)
+    unique = np.unique(values)
+    if not np.isin(unique, (0, 1)).all():
+        raise ValueError(f"{name} must be binary 0/1, got values {unique[:10]}")
+    return values.astype(np.int64)
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of an empty array")
+    return float((predictions == labels).mean())
+
+
+def f1_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Binary F1 of the positive class (0 when degenerate)."""
+    predictions = _validate_binary("predictions", predictions)
+    labels = _validate_binary("labels", labels)
+    tp = int(((predictions == 1) & (labels == 1)).sum())
+    fp = int(((predictions == 1) & (labels == 0)).sum())
+    fn = int(((predictions == 0) & (labels == 1)).sum())
+    denom = 2 * tp + fp + fn
+    return 2.0 * tp / denom if denom else 0.0
+
+
+def auc_score(scores: np.ndarray, labels: np.ndarray) -> float:
+    """ROC AUC via the rank statistic (Mann-Whitney U), ties averaged."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = _validate_binary("labels", labels)
+    n_pos = int(labels.sum())
+    n_neg = labels.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC undefined: need both classes present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(scores)
+    ranks[order] = np.arange(1, scores.size + 1, dtype=np.float64)
+    # Average ranks over ties.
+    sorted_scores = scores[order]
+    i = 0
+    while i < scores.size:
+        j = i
+        while j + 1 < scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    rank_sum = float(ranks[labels == 1].sum())
+    return (rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def group_positive_rates(
+    predictions: np.ndarray, sensitive: np.ndarray
+) -> tuple[float, float]:
+    """``(P(ŷ=1 | s=0), P(ŷ=1 | s=1))``; raises if a group is empty."""
+    predictions = _validate_binary("predictions", predictions)
+    sensitive = _validate_binary("sensitive", sensitive)
+    rates = []
+    for group in (0, 1):
+        mask = sensitive == group
+        if not mask.any():
+            raise ValueError(f"sensitive group {group} is empty")
+        rates.append(float(predictions[mask].mean()))
+    return rates[0], rates[1]
+
+
+def demographic_parity_difference(
+    predictions: np.ndarray, sensitive: np.ndarray
+) -> float:
+    """ΔSP = |P(ŷ=1|s=0) − P(ŷ=1|s=1)| (Eq. 43)."""
+    rate0, rate1 = group_positive_rates(predictions, sensitive)
+    return abs(rate0 - rate1)
+
+
+def equal_opportunity_difference(
+    predictions: np.ndarray, labels: np.ndarray, sensitive: np.ndarray
+) -> float:
+    """ΔEO = |P(ŷ=1|y=1,s=0) − P(ŷ=1|y=1,s=1)| (Eq. 44).
+
+    Restricted to ground-truth positives; raises if either group has no
+    positive examples (the quantity is undefined there).
+    """
+    predictions = _validate_binary("predictions", predictions)
+    labels = _validate_binary("labels", labels)
+    positives = labels == 1
+    if not positives.any():
+        raise ValueError("no positive examples: ΔEO undefined")
+    return demographic_parity_difference(
+        predictions[positives], np.asarray(sensitive)[positives]
+    )
+
+
+def group_confusion(
+    predictions: np.ndarray, labels: np.ndarray, sensitive: np.ndarray
+) -> dict[int, dict[str, int]]:
+    """Per-group confusion counts ``{group: {tp, fp, tn, fn}}``."""
+    predictions = _validate_binary("predictions", predictions)
+    labels = _validate_binary("labels", labels)
+    sensitive = _validate_binary("sensitive", sensitive)
+    out: dict[int, dict[str, int]] = {}
+    for group in (0, 1):
+        mask = sensitive == group
+        p, y = predictions[mask], labels[mask]
+        out[group] = {
+            "tp": int(((p == 1) & (y == 1)).sum()),
+            "fp": int(((p == 1) & (y == 0)).sum()),
+            "tn": int(((p == 0) & (y == 0)).sum()),
+            "fn": int(((p == 0) & (y == 1)).sum()),
+        }
+    return out
+
+
+def counterfactual_flip_rate(
+    predictions: np.ndarray, counterfactual_predictions: np.ndarray
+) -> float:
+    """Fraction of nodes whose prediction flips under their counterfactual.
+
+    A direct counterfactual-fairness score: 0 means every node receives the
+    same decision as its counterfactual twin.
+    """
+    predictions = _validate_binary("predictions", predictions)
+    counterfactual_predictions = _validate_binary(
+        "counterfactual_predictions", counterfactual_predictions
+    )
+    if predictions.shape != counterfactual_predictions.shape:
+        raise ValueError("prediction arrays must have matching shapes")
+    return float((predictions != counterfactual_predictions).mean())
+
+
+def consistency_score(
+    logits: np.ndarray, features: np.ndarray, num_neighbors: int = 5
+) -> float:
+    """Individual-fairness consistency (NIFTY's stability metric).
+
+    For each node, compare its hard prediction with those of its
+    ``num_neighbors`` nearest neighbours in *feature* space; the score is
+    the mean agreement in [0, 1].  1 means similar individuals always
+    receive the same decision.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    features = np.asarray(features, dtype=np.float64)
+    n = logits.shape[0]
+    if features.shape[0] != n:
+        raise ValueError(
+            f"row mismatch: {n} logits vs {features.shape[0]} feature rows"
+        )
+    if not 1 <= num_neighbors < n:
+        raise ValueError(f"num_neighbors must be in [1, {n - 1}], got {num_neighbors}")
+    predictions = (logits > 0).astype(np.int64)
+    norms = (features**2).sum(axis=1)
+    distances = norms[:, None] + norms[None, :] - 2.0 * features @ features.T
+    np.fill_diagonal(distances, np.inf)
+    neighbor_ids = np.argpartition(distances, num_neighbors - 1, axis=1)[
+        :, :num_neighbors
+    ]
+    agreement = predictions[neighbor_ids] == predictions[:, None]
+    return float(agreement.mean())

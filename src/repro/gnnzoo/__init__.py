@@ -1,0 +1,21 @@
+"""GNN backbones.
+
+All backbones share the interface of :class:`GNNBackbone`:
+
+* ``embed(features, adjacency)`` returns the node representations ``h`` that
+  Fairwos's counterfactual search and fair-representation loss operate on,
+* ``forward(features, adjacency)`` returns binary logits from the linear
+  classification head (Eq. 9 of the paper).
+
+The paper's experiments use **GCN** and **GIN** with one layer and 16 hidden
+units; **GAT** and **GraphSAGE** are provided as extensions (the related-work
+section names both) and are exercised by extra tests and an ablation bench.
+"""
+
+from repro.gnnzoo.base import GNNBackbone, make_backbone
+from repro.gnnzoo.gcn import GCN
+from repro.gnnzoo.gin import GIN
+from repro.gnnzoo.gat import GAT
+from repro.gnnzoo.sage import GraphSAGE
+
+__all__ = ["GNNBackbone", "make_backbone", "GCN", "GIN", "GAT", "GraphSAGE"]

@@ -1,0 +1,80 @@
+"""Shared backbone interface and factory."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.nn import Linear, Module
+from repro.tensor import Tensor
+
+__all__ = ["GNNBackbone", "make_backbone"]
+
+
+class GNNBackbone(Module):
+    """Base class: conv stack → representation ``h`` → linear head → logit.
+
+    Subclasses implement :meth:`embed`; the classification head (Eq. 9,
+    ``ŷ_v = σ(h_v · w)``) lives here so every backbone exposes identical
+    logits semantics.  Normalised adjacencies are cached per input matrix
+    (graphs are static within an experiment) keyed by object identity.
+    """
+
+    def __init__(self, hidden_dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.hidden_dim = hidden_dim
+        self.head = Linear(hidden_dim, 1, rng)
+        self._prop_cache: dict[int, sp.csr_matrix] = {}
+
+    # -- subclass API ---------------------------------------------------- #
+    def embed(self, features: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        """Return node representations ``h`` of shape ``(N, hidden_dim)``."""
+        raise NotImplementedError
+
+    def _propagation_matrix(self, adjacency: sp.spmatrix) -> sp.csr_matrix:
+        """Backbone-specific message-passing operator for a raw adjacency."""
+        raise NotImplementedError
+
+    # -- shared ----------------------------------------------------------- #
+    def forward(self, features: Tensor, adjacency: sp.spmatrix) -> Tensor:
+        """Binary classification logits of shape ``(N,)``."""
+        h = self.embed(features, adjacency)
+        return self.head(h).reshape(-1)
+
+    def _cached_propagation(self, adjacency: sp.spmatrix) -> sp.csr_matrix:
+        key = id(adjacency)
+        cached = self._prop_cache.get(key)
+        if cached is None:
+            cached = self._propagation_matrix(adjacency)
+            # Keep the cache bounded: experiments touch at most a few graphs.
+            if len(self._prop_cache) > 8:
+                self._prop_cache.clear()
+            self._prop_cache[key] = cached
+        return cached
+
+
+def make_backbone(
+    name: str,
+    in_dim: int,
+    hidden_dim: int,
+    rng: np.random.Generator,
+    num_layers: int = 1,
+    dropout: float = 0.0,
+) -> GNNBackbone:
+    """Instantiate a backbone by name ("gcn", "gin", "gat", "sage")."""
+    from repro.gnnzoo.gat import GAT
+    from repro.gnnzoo.gcn import GCN
+    from repro.gnnzoo.gin import GIN
+    from repro.gnnzoo.sage import GraphSAGE
+
+    registry = {"gcn": GCN, "gin": GIN, "gat": GAT, "sage": GraphSAGE}
+    key = name.lower()
+    if key not in registry:
+        raise ValueError(f"unknown backbone {name!r}; choose from {sorted(registry)}")
+    return registry[key](
+        in_dim=in_dim,
+        hidden_dim=hidden_dim,
+        rng=rng,
+        num_layers=num_layers,
+        dropout=dropout,
+    )

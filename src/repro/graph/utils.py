@@ -1,0 +1,87 @@
+"""Graph helper functions: edge lists, degrees, k-hop sets, homophily."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "edges_from_adjacency",
+    "adjacency_from_edges",
+    "degree_vector",
+    "k_hop_neighbors",
+    "edge_homophily",
+]
+
+
+def edges_from_adjacency(adjacency: sp.spmatrix, directed: bool = False) -> np.ndarray:
+    """Return an ``(E, 2)`` edge array.
+
+    With ``directed=False`` (default) each undirected edge appears once with
+    ``src < dst``; with ``directed=True`` every stored entry is returned.
+    """
+    coo = sp.coo_matrix(adjacency)
+    if directed:
+        return np.stack([coo.row, coo.col], axis=1).astype(np.int64)
+    mask = coo.row < coo.col
+    return np.stack([coo.row[mask], coo.col[mask]], axis=1).astype(np.int64)
+
+
+def adjacency_from_edges(edges: np.ndarray, num_nodes: int) -> sp.csr_matrix:
+    """Build a binary symmetric CSR adjacency from an ``(E, 2)`` edge array."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.size == 0:
+        return sp.csr_matrix((num_nodes, num_nodes))
+    no_loops = edges[edges[:, 0] != edges[:, 1]]
+    rows = np.concatenate([no_loops[:, 0], no_loops[:, 1]])
+    cols = np.concatenate([no_loops[:, 1], no_loops[:, 0]])
+    data = np.ones(rows.size, dtype=np.float64)
+    matrix = sp.csr_matrix((data, (rows, cols)), shape=(num_nodes, num_nodes))
+    matrix.data = np.minimum(matrix.data, 1.0)
+    matrix.sum_duplicates()
+    matrix.data = np.ones_like(matrix.data)
+    return matrix
+
+
+def degree_vector(adjacency: sp.spmatrix) -> np.ndarray:
+    """Node degrees of a binary adjacency."""
+    return np.asarray(sp.csr_matrix(adjacency).sum(axis=1)).reshape(-1)
+
+
+def k_hop_neighbors(adjacency: sp.spmatrix, node: int, k: int) -> np.ndarray:
+    """Sorted indices of all nodes within ``k`` hops of ``node`` (inclusive).
+
+    This is the node set of the paper's "subgraph G_i" for node i.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    matrix = sp.csr_matrix(adjacency)
+    frontier = {int(node)}
+    visited = {int(node)}
+    for _ in range(k):
+        next_frontier: set[int] = set()
+        for u in frontier:
+            start, stop = matrix.indptr[u], matrix.indptr[u + 1]
+            next_frontier.update(int(v) for v in matrix.indices[start:stop])
+        next_frontier -= visited
+        if not next_frontier:
+            break
+        visited |= next_frontier
+        frontier = next_frontier
+    return np.array(sorted(visited), dtype=np.int64)
+
+
+def edge_homophily(adjacency: sp.spmatrix, values: np.ndarray) -> float:
+    """Fraction of edges whose endpoints share the same ``values`` entry.
+
+    Applied to labels this is the usual homophily ratio; applied to the
+    sensitive attribute it quantifies the group-mixing bias the synthetic
+    generators plant (and that message passing amplifies, per the paper's
+    introduction).
+    """
+    edges = edges_from_adjacency(adjacency)
+    if edges.shape[0] == 0:
+        return 0.0
+    values = np.asarray(values)
+    same = values[edges[:, 0]] == values[edges[:, 1]]
+    return float(same.mean())

@@ -1,0 +1,22 @@
+"""Persistence and interoperability.
+
+* :func:`save_graph` / :func:`load_graph` — single-file ``.npz`` round-trip
+  of a :class:`~repro.graph.Graph` (adjacency stored in CSR parts);
+* :func:`save_state` / :func:`load_state` — model checkpointing via the
+  ``Module.state_dict`` mapping;
+* :func:`to_networkx` / :func:`from_networkx` — bridge to the networkx
+  ecosystem for visualisation and classic graph algorithms.
+"""
+
+from repro.io.graph_io import load_graph, save_graph
+from repro.io.model_io import load_state, save_state
+from repro.io.nx_bridge import from_networkx, to_networkx
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_state",
+    "load_state",
+    "to_networkx",
+    "from_networkx",
+]

@@ -1,0 +1,69 @@
+"""Graph ``.npz`` round-trip."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph import Graph
+
+__all__ = ["save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: str | Path) -> Path:
+    """Serialise ``graph`` to a compressed ``.npz`` file.
+
+    The adjacency is stored as its CSR components; ``meta`` is not persisted
+    (it may hold arbitrary objects) except for the scalar provenance fields,
+    which are re-created as strings.
+    """
+    path = Path(path)
+    adjacency = graph.adjacency.tocsr()
+    np.savez_compressed(
+        path,
+        format_version=np.array(_FORMAT_VERSION),
+        name=np.array(graph.name),
+        adj_data=adjacency.data,
+        adj_indices=adjacency.indices,
+        adj_indptr=adjacency.indptr,
+        adj_shape=np.array(adjacency.shape),
+        features=graph.features,
+        labels=graph.labels,
+        sensitive=graph.sensitive,
+        train_mask=graph.train_mask,
+        val_mask=graph.val_mask,
+        test_mask=graph.test_mask,
+        related=graph.related_feature_indices,
+    )
+    # np.savez appends .npz when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_graph(path: str | Path) -> Graph:
+    """Load a graph saved with :func:`save_graph`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported graph file version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        adjacency = sp.csr_matrix(
+            (data["adj_data"], data["adj_indices"], data["adj_indptr"]),
+            shape=tuple(data["adj_shape"]),
+        )
+        return Graph(
+            adjacency=adjacency,
+            features=data["features"],
+            labels=data["labels"],
+            sensitive=data["sensitive"],
+            train_mask=data["train_mask"],
+            val_mask=data["val_mask"],
+            test_mask=data["test_mask"],
+            related_feature_indices=data["related"],
+            name=str(data["name"]),
+        )

@@ -1,0 +1,35 @@
+"""Model checkpointing via ``state_dict`` ``.npz`` files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_state", "load_state"]
+
+
+def save_state(model: Module, path: str | Path) -> Path:
+    """Write ``model.state_dict()`` to a compressed ``.npz`` file.
+
+    Parameter names become archive keys; ``/`` replaces ``.`` because npz
+    keys may not be arbitrary (kept reversible by :func:`load_state`).
+    """
+    path = Path(path)
+    state = {name.replace(".", "/"): value for name, value in model.state_dict().items()}
+    np.savez_compressed(path, **state)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_state(model: Module, path: str | Path) -> Module:
+    """Load a checkpoint written by :func:`save_state` into ``model``.
+
+    The model must already have the matching architecture — loading is
+    strict (missing/unexpected/mis-shaped parameters raise).
+    """
+    with np.load(Path(path), allow_pickle=False) as data:
+        state = {key.replace("/", "."): data[key] for key in data.files}
+    model.load_state_dict(state)
+    return model

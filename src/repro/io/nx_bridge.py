@@ -1,0 +1,92 @@
+"""networkx interoperability."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph import Graph
+
+__all__ = ["to_networkx", "from_networkx"]
+
+
+def to_networkx(graph: Graph, include_attributes: bool = True) -> nx.Graph:
+    """Convert to an undirected :class:`networkx.Graph`.
+
+    Node attributes (when ``include_attributes``): ``label``, ``sensitive``,
+    ``split`` ("train" / "val" / "test") and the raw ``features`` vector.
+    """
+    nx_graph = nx.from_scipy_sparse_array(graph.adjacency)
+    if include_attributes:
+        splits = np.full(graph.num_nodes, "test", dtype=object)
+        splits[graph.train_mask] = "train"
+        splits[graph.val_mask] = "val"
+        for node in range(graph.num_nodes):
+            nx_graph.nodes[node].update(
+                label=int(graph.labels[node]),
+                sensitive=int(graph.sensitive[node]),
+                split=str(splits[node]),
+                features=graph.features[node].copy(),
+            )
+    nx_graph.graph["name"] = graph.name
+    return nx_graph
+
+
+def from_networkx(
+    nx_graph: nx.Graph,
+    features: np.ndarray | None = None,
+    labels: np.ndarray | None = None,
+    sensitive: np.ndarray | None = None,
+    train_mask: np.ndarray | None = None,
+    val_mask: np.ndarray | None = None,
+    test_mask: np.ndarray | None = None,
+    name: str | None = None,
+) -> Graph:
+    """Build a :class:`~repro.graph.Graph` from a networkx graph.
+
+    Arrays default to the corresponding per-node attributes when present on
+    the networkx graph (the inverse of :func:`to_networkx`); explicit
+    arguments override.  Nodes are re-labelled to ``0..N-1`` in sorted order.
+    """
+    nodes = sorted(nx_graph.nodes())
+    relabeled = nx.relabel_nodes(
+        nx_graph, {node: i for i, node in enumerate(nodes)}, copy=True
+    )
+    adjacency = sp.csr_matrix(
+        nx.to_scipy_sparse_array(relabeled, nodelist=range(len(nodes)))
+    )
+    adjacency.data = np.ones_like(adjacency.data)
+
+    def _from_attr(key, override, dtype):
+        if override is not None:
+            return np.asarray(override)
+        values = [relabeled.nodes[i].get(key) for i in range(len(nodes))]
+        if any(v is None for v in values):
+            raise ValueError(
+                f"node attribute {key!r} missing and no explicit array given"
+            )
+        return np.asarray(values, dtype=dtype)
+
+    features_arr = (
+        np.asarray(features)
+        if features is not None
+        else np.stack(_from_attr("features", None, object).tolist())
+    )
+    labels_arr = _from_attr("label", labels, np.int64)
+    sensitive_arr = _from_attr("sensitive", sensitive, np.int64)
+    if train_mask is None or val_mask is None or test_mask is None:
+        splits = _from_attr("split", None, object)
+        train_mask = splits == "train"
+        val_mask = splits == "val"
+        test_mask = splits == "test"
+    return Graph(
+        adjacency=adjacency,
+        features=features_arr,
+        labels=labels_arr,
+        sensitive=sensitive_arr,
+        train_mask=np.asarray(train_mask, dtype=bool),
+        val_mask=np.asarray(val_mask, dtype=bool),
+        test_mask=np.asarray(test_mask, dtype=bool),
+        name=name or nx_graph.graph.get("name", "graph"),
+    )

@@ -1,0 +1,36 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor import Tensor
+from repro.tensor import ops
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode.
+
+    During training each element is zeroed with probability ``rate`` and the
+    survivors are scaled by ``1 / (1 - rate)`` so the expected activation is
+    unchanged; at eval time it is the identity.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        mask = ops.dropout_mask(x.shape, self.rate, self.rng)
+        return ops.mul(x, Tensor(mask))
+
+    def __repr__(self) -> str:
+        return f"Dropout(rate={self.rate})"

@@ -1,0 +1,93 @@
+"""Linear layer and multi-layer perceptron."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.activations import Identity, ReLU
+from repro.nn.dropout import Dropout
+from repro.nn.module import Module, ModuleList, Parameter
+from repro.tensor import Tensor
+from repro.tensor import ops
+
+__all__ = ["Linear", "MLP"]
+
+
+class Linear(Module):
+    """Affine transform ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    rng:
+        Generator used for Xavier-uniform weight init.
+    bias:
+        Whether to learn an additive bias (default True).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            init.xavier_uniform((in_features, out_features), rng), name="weight"
+        )
+        self.bias = Parameter(init.zeros((out_features,)), name="bias") if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight)
+        if self.bias is not None:
+            out = ops.add(out, self.bias)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in_features={self.in_features}, "
+            f"out_features={self.out_features}, bias={self.bias is not None})"
+        )
+
+
+class MLP(Module):
+    """Multi-layer perceptron with configurable depth, activation and dropout.
+
+    ``dims = [in, h1, ..., out]`` gives ``len(dims) - 1`` linear layers with
+    the activation (and optional dropout) between consecutive layers but not
+    after the final one.
+    """
+
+    def __init__(
+        self,
+        dims: list[int],
+        rng: np.random.Generator,
+        activation: Module | None = None,
+        dropout: float = 0.0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError(f"MLP needs at least [in, out] dims, got {dims}")
+        self.dims = list(dims)
+        self.activation = activation if activation is not None else ReLU()
+        self.dropout = Dropout(dropout, rng) if dropout > 0 else Identity()
+        self.layers = ModuleList(
+            [Linear(dims[i], dims[i + 1], rng, bias=bias) for i in range(len(dims) - 1)]
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1:
+                x = self.activation(x)
+                x = self.dropout(x)
+        return x
+
+    def __repr__(self) -> str:
+        return f"MLP(dims={self.dims})"

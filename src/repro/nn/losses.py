@@ -1,0 +1,85 @@
+"""Classification and distance losses.
+
+The binary cross-entropy is computed directly from logits with the
+log-sum-exp trick (``log(1 + e^z) = max(z, 0) + log(1 + e^{-|z|})``) so it is
+stable for large-magnitude logits — this matters because fairness
+regularisation sometimes pushes the classifier head to extreme confidence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import Tensor
+from repro.tensor import ops
+from repro.tensor.tensor import as_tensor
+
+__all__ = [
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "mse_loss",
+    "l2_distance",
+]
+
+
+def binary_cross_entropy_with_logits(
+    logits: Tensor,
+    targets,
+    weights=None,
+) -> Tensor:
+    """Mean BCE between logits and 0/1 targets, Eq. (10) of the paper.
+
+    Parameters
+    ----------
+    logits:
+        Raw scores, any shape.
+    targets:
+        0/1 labels broadcastable to ``logits`` (constant).
+    weights:
+        Optional per-element constant weights (e.g. class-balancing); the
+        loss is a weighted mean.
+    """
+    logits = as_tensor(logits)
+    targets = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets, dtype=np.float64
+    )
+    # loss = max(z, 0) - z*y + log(1 + exp(-|z|))
+    zero = Tensor(np.zeros_like(logits.data))
+    relu_part = ops.maximum(logits, zero)
+    linear_part = ops.mul(logits, Tensor(targets))
+    softplus_part = ops.log(ops.add(1.0, ops.exp(ops.neg(ops.absolute(logits)))))
+    per_element = ops.add(ops.sub(relu_part, linear_part), softplus_part)
+    if weights is not None:
+        w = np.asarray(weights, dtype=np.float64)
+        weighted = ops.mul(per_element, Tensor(w))
+        return ops.div(ops.sum(weighted), float(w.sum()))
+    return ops.mean(per_element)
+
+
+def cross_entropy(logits: Tensor, targets) -> Tensor:
+    """Mean multi-class cross-entropy from raw logits and integer labels."""
+    logits = as_tensor(logits)
+    labels = np.asarray(
+        targets.data if isinstance(targets, Tensor) else targets
+    ).astype(np.int64)
+    log_probs = ops.log_softmax(logits, axis=-1)
+    picked = ops.index(log_probs, (np.arange(len(labels)), labels))
+    return ops.neg(ops.mean(picked))
+
+
+def mse_loss(prediction: Tensor, target) -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = ops.sub(prediction, target)
+    return ops.mean(ops.power(diff, 2.0))
+
+
+def l2_distance(a: Tensor, b: Tensor, axis: int = -1) -> Tensor:
+    """Row-wise squared L2 distance ``||a - b||²`` (Eq. 33 of the paper).
+
+    Returns a tensor of per-row distances; callers take the mean/sum they
+    need.  Squared distance keeps the objective smooth, matching Eq. (33).
+    """
+    diff = ops.sub(a, b)
+    return ops.sum(ops.power(diff, 2.0), axis=axis)

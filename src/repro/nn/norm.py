@@ -1,0 +1,38 @@
+"""Normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor import Tensor
+from repro.tensor import ops
+
+__all__ = ["LayerNorm"]
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis with learnable affine.
+
+    ``y = γ · (x − mean(x)) / sqrt(var(x) + ε) + β`` per row.  Useful for
+    stabilising the deeper (2+ layer) backbone configurations.
+    """
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if normalized_dim < 1:
+            raise ValueError(f"normalized_dim must be >= 1, got {normalized_dim}")
+        self.normalized_dim = normalized_dim
+        self.eps = eps
+        self.gain = Parameter(np.ones(normalized_dim), name="gain")
+        self.bias = Parameter(np.zeros(normalized_dim), name="bias")
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = ops.mean(x, axis=-1, keepdims=True)
+        centered = ops.sub(x, mean)
+        variance = ops.mean(ops.power(centered, 2.0), axis=-1, keepdims=True)
+        normalised = ops.div(centered, ops.sqrt(ops.add(variance, self.eps)))
+        return ops.add(ops.mul(normalised, self.gain), self.bias)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm(normalized_dim={self.normalized_dim}, eps={self.eps})"

@@ -1,0 +1,7 @@
+"""First-order optimisers (SGD with momentum, Adam) and gradient clipping."""
+
+from repro.optim.optimizer import Optimizer, clip_grad_norm
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]

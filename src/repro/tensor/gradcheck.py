@@ -1,0 +1,82 @@
+"""Finite-difference gradient checking utilities.
+
+Used heavily by the test-suite to certify every op in
+:mod:`repro.tensor.ops`: analytic gradients from :meth:`Tensor.backward` are
+compared against central differences computed on the same function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["numerical_gradient", "gradcheck"]
+
+
+def numerical_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn(*inputs)`` w.r.t. one input.
+
+    Parameters
+    ----------
+    fn:
+        Function of the tensors in ``inputs`` returning a scalar tensor.
+    inputs:
+        Input tensors; only ``inputs[wrt]`` is perturbed.
+    wrt:
+        Index of the input to differentiate with respect to.
+    eps:
+        Step size for the symmetric difference quotient.
+    """
+    target = inputs[wrt]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn(*inputs).data)
+        flat[i] = original - eps
+        minus = float(fn(*inputs).data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-4,
+) -> bool:
+    """Verify analytic gradients of scalar ``fn`` against finite differences.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch; returns
+    True otherwise, so it can be used directly inside ``assert gradcheck(...)``.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    out = fn(*inputs)
+    if out.data.size != 1:
+        raise ValueError("gradcheck requires a scalar-valued function")
+    out.backward()
+    for idx, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad if tensor.grad is not None else np.zeros_like(tensor.data)
+        numeric = numerical_gradient(fn, inputs, idx, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic - numeric))
+            raise AssertionError(
+                f"gradient mismatch for input {idx}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}"
+            )
+    return True

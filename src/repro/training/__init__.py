@@ -1,0 +1,5 @@
+"""Shared supervised-training loop used by Fairwos and every baseline."""
+
+from repro.training.loop import FitHistory, fit_binary_classifier, predict_logits
+
+__all__ = ["FitHistory", "fit_binary_classifier", "predict_logits"]

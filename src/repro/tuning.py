@@ -1,0 +1,123 @@
+"""Hyper-parameter selection for Fairwos (the paper's validation protocol).
+
+Section V-A-4: "we vary α as {0.01, 0.05, 1, 2, 5} and K as {1, 2, 5, 10,
+20} and the best model is saved based on the performance of the validation
+dataset."  Crucially the selection criterion cannot use fairness — the
+sensitive attribute is unavailable during training — so candidates are
+ranked by **validation accuracy**, with the counterfactual disparity
+``Σ λ_i D_i`` (a sensitive-attribute-free fairness proxy) breaking ties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core import FairwosConfig, FairwosResult, FairwosTrainer
+from repro.graph import Graph
+
+__all__ = ["GridPoint", "GridSearchResult", "grid_search_fairwos"]
+
+PAPER_ALPHA_GRID = (0.01, 0.05, 1.0, 2.0, 5.0)
+PAPER_K_GRID = (1, 2, 5, 10, 20)
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One evaluated (α, K) candidate."""
+
+    alpha: float
+    top_k: int
+    val_accuracy: float
+    fair_proxy: float
+    test_accuracy: float
+    test_delta_sp: float
+    test_delta_eo: float
+
+
+@dataclass
+class GridSearchResult:
+    """All candidates plus the selected one."""
+
+    points: list[GridPoint] = field(default_factory=list)
+    best: GridPoint | None = None
+    best_result: FairwosResult | None = None
+
+    def render(self) -> str:
+        """Table of candidates with the winner marked."""
+        lines = ["Fairwos grid search (selected by val ACC, fairness-proxy tiebreak)"]
+        lines.append(
+            f"  {'alpha':>7s} {'K':>3s} {'valACC':>7s} {'proxy':>8s} "
+            f"{'testACC':>8s} {'ΔSP':>6s} {'ΔEO':>6s}"
+        )
+        for point in self.points:
+            marker = " ◀" if point is self.best else ""
+            lines.append(
+                f"  {point.alpha:7.2f} {point.top_k:3d} "
+                f"{100 * point.val_accuracy:7.2f} {point.fair_proxy:8.4f} "
+                f"{100 * point.test_accuracy:8.2f} "
+                f"{100 * point.test_delta_sp:6.2f} "
+                f"{100 * point.test_delta_eo:6.2f}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def grid_search_fairwos(
+    graph: Graph,
+    base_config: FairwosConfig | None = None,
+    alphas: tuple[float, ...] = PAPER_ALPHA_GRID,
+    ks: tuple[int, ...] = PAPER_K_GRID,
+    seed: int = 0,
+    accuracy_tolerance: float = 0.005,
+) -> GridSearchResult:
+    """Sweep (α, K), select by validation accuracy with a fairness tiebreak.
+
+    Parameters
+    ----------
+    graph:
+        Dataset (test metrics are recorded for reporting but never used for
+        selection).
+    base_config:
+        Template config; ``alpha`` / ``top_k`` are overridden per candidate.
+    alphas, ks:
+        The grids (defaults: the paper's).
+    seed:
+        Shared seed so candidates differ only in hyper-parameters.
+    accuracy_tolerance:
+        Candidates within this of the best validation accuracy are
+        considered tied; the tie with the smallest fairness proxy wins.
+    """
+    base_config = base_config or FairwosConfig()
+    result = GridSearchResult()
+    outcomes: list[tuple[GridPoint, FairwosResult]] = []
+    for alpha in alphas:
+        for top_k in ks:
+            config = replace(base_config, alpha=alpha, top_k=top_k)
+            fit = FairwosTrainer(config).fit(graph, seed=seed)
+            # Fairness proxy: final weighted counterfactual disparity —
+            # computable without the sensitive attribute.
+            if fit.history["finetune_fair_loss"]:
+                proxy = float(fit.history["finetune_fair_loss"][-1])
+            else:
+                proxy = float("inf")
+            point = GridPoint(
+                alpha=alpha,
+                top_k=top_k,
+                val_accuracy=fit.validation.accuracy,
+                fair_proxy=proxy,
+                test_accuracy=fit.test.accuracy,
+                test_delta_sp=fit.test.delta_sp,
+                test_delta_eo=fit.test.delta_eo,
+            )
+            result.points.append(point)
+            outcomes.append((point, fit))
+
+    best_val = max(point.val_accuracy for point, _ in outcomes)
+    tied = [
+        (point, fit)
+        for point, fit in outcomes
+        if point.val_accuracy >= best_val - accuracy_tolerance
+    ]
+    result.best, result.best_result = min(tied, key=lambda pair: pair[0].fair_proxy)
+    return result

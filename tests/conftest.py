@@ -1,0 +1,62 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.datasets import BiasSpec, generate_biased_graph
+from repro.graph import Graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_adjacency() -> sp.csr_matrix:
+    """A fixed 6-node symmetric adjacency (two triangles + a bridge)."""
+    edges = [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]
+    rows = [e[0] for e in edges] + [e[1] for e in edges]
+    cols = [e[1] for e in edges] + [e[0] for e in edges]
+    return sp.csr_matrix(
+        (np.ones(len(rows)), (rows, cols)), shape=(6, 6)
+    )
+
+
+@pytest.fixture
+def tiny_graph(tiny_adjacency) -> Graph:
+    """A hand-built 6-node graph with masks, labels and a sensitive attr."""
+    rng = np.random.default_rng(0)
+    return Graph(
+        adjacency=tiny_adjacency,
+        features=rng.normal(size=(6, 4)),
+        labels=np.array([0, 0, 1, 1, 0, 1]),
+        sensitive=np.array([0, 0, 0, 1, 1, 1]),
+        train_mask=np.array([True, True, True, False, False, False]),
+        val_mask=np.array([False, False, False, True, True, False]),
+        test_mask=np.array([False, False, False, False, False, True]),
+        related_feature_indices=np.array([0, 2]),
+        name="tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def small_graph() -> Graph:
+    """A 250-node generated graph with planted bias (shared across tests)."""
+    return generate_biased_graph(
+        num_nodes=250,
+        num_features=12,
+        average_degree=10,
+        spec=BiasSpec(
+            label_bias=0.2,
+            proxy_strength=1.0,
+            group_homophily=2.0,
+            label_signal_strength=0.5,
+        ),
+        seed=7,
+        name="small",
+    ).standardized()

@@ -1,0 +1,170 @@
+"""Tests for PCA, k-means, t-SNE and correlation utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    correlation_with_vector,
+    kmeans,
+    pca,
+    pearson_correlation,
+    tsne,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestPCA:
+    def test_variance_ordering(self, rng):
+        data = rng.normal(size=(200, 5)) * np.array([10.0, 5.0, 1.0, 0.5, 0.1])
+        _, ratios = pca(data, 5)
+        assert (np.diff(ratios) <= 1e-12).all()
+
+    def test_ratio_sums_to_one_with_all_components(self, rng):
+        data = rng.normal(size=(50, 4))
+        _, ratios = pca(data, 4)
+        assert ratios.sum() == pytest.approx(1.0)
+
+    def test_projection_shape(self, rng):
+        scores, _ = pca(rng.normal(size=(30, 6)), 2)
+        assert scores.shape == (30, 2)
+
+    def test_scores_are_centered(self, rng):
+        scores, _ = pca(rng.normal(size=(40, 3)) + 5.0, 2)
+        np.testing.assert_allclose(scores.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_recovers_dominant_direction(self, rng):
+        direction = np.array([1.0, 1.0]) / np.sqrt(2)
+        data = rng.normal(size=(500, 1)) * 5.0 @ direction[None, :]
+        data += rng.normal(size=(500, 2)) * 0.1
+        scores, ratios = pca(data, 1)
+        assert ratios[0] > 0.95
+
+    def test_invalid_components(self, rng):
+        with pytest.raises(ValueError):
+            pca(rng.normal(size=(10, 3)), 4)
+        with pytest.raises(ValueError):
+            pca(rng.normal(size=(10, 3)), 0)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(ValueError):
+            pca(rng.normal(size=10), 1)
+
+
+class TestKMeans:
+    def test_separates_obvious_clusters(self, rng):
+        a = rng.normal(size=(50, 2)) + np.array([10.0, 0.0])
+        b = rng.normal(size=(50, 2)) - np.array([10.0, 0.0])
+        data = np.vstack([a, b])
+        assignments, centers, inertia = kmeans(data, 2, rng)
+        assert len(np.unique(assignments[:50])) == 1
+        assert len(np.unique(assignments[50:])) == 1
+        assert assignments[0] != assignments[50]
+
+    def test_k_equals_n(self, rng):
+        data = rng.normal(size=(5, 2))
+        assignments, _, inertia = kmeans(data, 5, rng)
+        assert len(np.unique(assignments)) == 5
+        assert inertia == pytest.approx(0.0, abs=1e-18)
+
+    def test_single_cluster(self, rng):
+        data = rng.normal(size=(20, 3))
+        assignments, centers, _ = kmeans(data, 1, rng)
+        np.testing.assert_array_equal(assignments, 0)
+        np.testing.assert_allclose(centers[0], data.mean(axis=0))
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            kmeans(rng.normal(size=(5, 2)), 6, rng)
+        with pytest.raises(ValueError):
+            kmeans(rng.normal(size=(5, 2)), 0, rng)
+
+    def test_inertia_nonincreasing_in_k(self, rng):
+        data = rng.normal(size=(100, 3))
+        inertias = [kmeans(data, k, np.random.default_rng(0))[2] for k in (1, 2, 4, 8)]
+        for small, large in zip(inertias, inertias[1:]):
+            assert large <= small + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 200), k=st.integers(1, 5))
+    def test_property_assignments_in_range(self, seed, k):
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(30, 2))
+        assignments, centers, _ = kmeans(data, k, rng)
+        assert assignments.min() >= 0
+        assert assignments.max() < k
+        assert centers.shape == (k, 2)
+
+
+class TestTSNE:
+    def test_output_shape(self, rng):
+        data = rng.normal(size=(40, 8))
+        out = tsne(data, rng, iterations=60)
+        assert out.shape == (40, 2)
+        assert np.isfinite(out).all()
+
+    def test_separates_distant_clusters(self, rng):
+        a = rng.normal(size=(25, 6)) + 20.0
+        b = rng.normal(size=(25, 6)) - 20.0
+        out = tsne(np.vstack([a, b]), rng, iterations=250, perplexity=10)
+        centroid_a = out[:25].mean(axis=0)
+        centroid_b = out[25:].mean(axis=0)
+        spread = max(out[:25].std(), out[25:].std())
+        assert np.linalg.norm(centroid_a - centroid_b) > 2 * spread
+
+    def test_needs_min_points(self, rng):
+        with pytest.raises(ValueError):
+            tsne(rng.normal(size=(3, 4)), rng)
+
+    def test_embedding_centered(self, rng):
+        out = tsne(rng.normal(size=(20, 5)), rng, iterations=30)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+
+
+class TestCorrelation:
+    def test_perfect_correlation(self):
+        a = np.arange(10.0)
+        assert pearson_correlation(a, 2 * a + 1) == pytest.approx(1.0)
+        assert pearson_correlation(a, -a) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(3), np.ones(4))
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            pearson_correlation(np.ones(1), np.ones(1))
+
+    def test_matches_numpy_corrcoef(self, rng):
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        assert pearson_correlation(a, b) == pytest.approx(np.corrcoef(a, b)[0, 1])
+
+    def test_columnwise(self, rng):
+        v = rng.normal(size=30)
+        matrix = np.stack([v, -v, rng.normal(size=30), np.ones(30)], axis=1)
+        corr = correlation_with_vector(matrix, v)
+        assert corr[0] == pytest.approx(1.0)
+        assert corr[1] == pytest.approx(-1.0)
+        assert abs(corr[2]) < 0.5
+        assert corr[3] == 0.0  # constant column
+
+    def test_columnwise_row_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            correlation_with_vector(rng.normal(size=(5, 2)), rng.normal(size=6))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 300))
+    def test_property_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        corr = correlation_with_vector(rng.normal(size=(20, 4)), rng.normal(size=20))
+        assert (np.abs(corr) <= 1.0).all()

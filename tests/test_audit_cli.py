@@ -1,0 +1,91 @@
+"""Tests for the bias-audit module and the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.fairness.audit import audit_graph, audit_predictions
+
+
+class TestAuditGraph:
+    def test_fields_and_ranges(self, small_graph):
+        audit = audit_graph(small_graph)
+        assert audit.feature_leakage.shape == (small_graph.num_features,)
+        assert (audit.feature_leakage >= 0).all()
+        assert 0.0 <= audit.sensitive_homophily <= 1.0
+        assert 0.0 <= audit.label_homophily <= 1.0
+        assert 0.0 <= audit.base_rate_gap <= 1.0
+        assert 0.0 <= audit.structural_leakage <= 1.0
+
+    def test_proxy_features_ranked_first(self, small_graph):
+        audit = audit_graph(small_graph)
+        # The generator's planted proxies should dominate the leakage ranking.
+        top = set(audit.top_proxy_features[: small_graph.related_feature_indices.size])
+        planted = set(small_graph.related_feature_indices.tolist())
+        assert len(top & planted) >= 1
+
+    def test_homophilous_graph_high_structural_leakage(self, small_graph):
+        audit = audit_graph(small_graph)
+        # group_homophily=2.0 was planted: structure must beat coin flipping.
+        assert audit.structural_leakage > 0.5
+
+    def test_render_contains_key_lines(self, small_graph):
+        text = audit_graph(small_graph).render()
+        assert "homophily" in text
+        assert "proxy features" in text
+
+
+class TestAuditPredictions:
+    def test_amplification_of_constant_gap(self, small_graph):
+        # A predictor that predicts the label perfectly has amplification 1.
+        logits = np.where(small_graph.labels == 1, 5.0, -5.0)
+        audit = audit_predictions(logits, small_graph)
+        assert audit.amplification == pytest.approx(1.0, abs=1e-6)
+
+    def test_constant_prediction_zero_gap(self, small_graph):
+        logits = np.full(small_graph.num_nodes, 5.0)
+        audit = audit_predictions(logits, small_graph)
+        assert audit.evaluation.delta_sp == 0.0
+        assert audit.amplification == pytest.approx(0.0)
+
+    def test_render(self, small_graph):
+        logits = np.where(small_graph.labels == 1, 5.0, -5.0)
+        text = audit_predictions(logits, small_graph).render()
+        assert "amplification" in text
+        assert "verdict" in text
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--method", "vanilla", "--dataset", "nba"])
+        assert args.command == "run"
+        assert args.method == "vanilla"
+
+    def test_parser_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "bogus"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self, capsys):
+        output = main(["datasets"])
+        assert "nba" in output
+        assert "sensitive" in output
+
+    def test_run_command_vanilla(self):
+        output = main(["run", "--method", "vanilla", "--dataset", "nba",
+                       "--epochs", "20"])
+        assert "Vanilla" in output
+        assert "ACC" in output
+
+    def test_table2_smoke(self):
+        output = main([
+            "table2", "--datasets", "nba", "--backbones", "gcn",
+            "--methods", "vanilla", "--scale", "smoke",
+        ])
+        assert "Table II" in output

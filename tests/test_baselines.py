@@ -1,0 +1,155 @@
+"""Tests for the five comparison baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import FairGKD, FairRF, KSMOTE, RemoveR, Vanilla
+from repro.baselines.base import MethodResult
+from repro.graph import Graph
+
+FAST = dict(epochs=30, patience=10)
+
+
+@pytest.mark.parametrize(
+    "cls", [Vanilla, RemoveR, KSMOTE, FairRF, FairGKD],
+    ids=["vanilla", "remover", "ksmote", "fairrf", "fairgkd"],
+)
+class TestBaselineContract:
+    def test_fit_returns_method_result(self, cls, small_graph):
+        result = cls(**FAST).fit(small_graph, seed=0)
+        assert isinstance(result, MethodResult)
+        assert result.method == cls.name
+        assert 0.0 <= result.test.accuracy <= 1.0
+        assert 0.0 <= result.test.delta_sp <= 1.0
+        assert result.seconds > 0.0
+
+    def test_deterministic_given_seed(self, cls, small_graph):
+        r1 = cls(**FAST).fit(small_graph, seed=1)
+        r2 = cls(**FAST).fit(small_graph, seed=1)
+        assert r1.test.accuracy == r2.test.accuracy
+        assert r1.test.delta_sp == r2.test.delta_sp
+
+    def test_gin_backbone(self, cls, small_graph):
+        result = cls(backbone="gin", **FAST).fit(small_graph, seed=0)
+        assert 0.0 <= result.test.accuracy <= 1.0
+
+
+class TestVanilla:
+    def test_learns_the_task(self, small_graph):
+        result = Vanilla(epochs=80, patience=30).fit(small_graph, seed=0)
+        majority = max(small_graph.labels.mean(), 1 - small_graph.labels.mean())
+        assert result.test.accuracy >= majority - 0.05
+
+
+class TestRemoveR:
+    def test_requires_related_indices(self, small_graph):
+        stripped = Graph(
+            adjacency=small_graph.adjacency,
+            features=small_graph.features,
+            labels=small_graph.labels,
+            sensitive=small_graph.sensitive,
+            train_mask=small_graph.train_mask,
+            val_mask=small_graph.val_mask,
+            test_mask=small_graph.test_mask,
+        )
+        with pytest.raises(ValueError, match="related"):
+            RemoveR(**FAST).fit(stripped, seed=0)
+
+    def test_rejects_removing_everything(self, small_graph):
+        all_related = Graph(
+            adjacency=small_graph.adjacency,
+            features=small_graph.features,
+            labels=small_graph.labels,
+            sensitive=small_graph.sensitive,
+            train_mask=small_graph.train_mask,
+            val_mask=small_graph.val_mask,
+            test_mask=small_graph.test_mask,
+            related_feature_indices=np.arange(small_graph.num_features),
+        )
+        with pytest.raises(ValueError, match="every feature"):
+            RemoveR(**FAST).fit(all_related, seed=0)
+
+    def test_reports_removed_count(self, small_graph):
+        result = RemoveR(**FAST).fit(small_graph, seed=0)
+        assert result.extra["removed_columns"] == small_graph.related_feature_indices.size
+
+
+class TestKSMOTE:
+    def test_reports_synthetic_nodes(self, small_graph):
+        result = KSMOTE(**FAST).fit(small_graph, seed=0)
+        assert result.extra["synthetic_nodes"] >= 0
+        assert result.extra["num_clusters"] == 4
+
+    def test_no_oversample_option(self, small_graph):
+        result = KSMOTE(oversample=False, **FAST).fit(small_graph, seed=0)
+        assert result.extra["synthetic_nodes"] == 0
+
+    def test_synthetic_budget_respected(self, small_graph):
+        result = KSMOTE(max_synthetic_fraction=0.05, **FAST).fit(small_graph, seed=0)
+        assert result.extra["synthetic_nodes"] <= int(0.05 * small_graph.num_nodes)
+
+    def test_parity_weight_zero_disables_regulariser(self, small_graph):
+        result = KSMOTE(parity_weight=0.0, **FAST).fit(small_graph, seed=0)
+        assert 0.0 <= result.test.accuracy <= 1.0
+
+    def test_rejects_one_cluster(self):
+        with pytest.raises(ValueError):
+            KSMOTE(num_clusters=1)
+
+    def test_extend_adjacency_wires_parent_neighbourhood(self, tiny_graph):
+        extended = KSMOTE._extend_adjacency(tiny_graph.adjacency, [0])
+        assert extended.shape == (7, 7)
+        # Synthetic node 6 connects to node 0 and node 0's neighbours {1, 2}.
+        neighbors = set(extended[6].indices)
+        assert neighbors == {0, 1, 2}
+        # Symmetry preserved.
+        assert (extended != extended.T).nnz == 0
+
+
+class TestFairRF:
+    def test_requires_related_indices(self, small_graph):
+        stripped = Graph(
+            adjacency=small_graph.adjacency,
+            features=small_graph.features,
+            labels=small_graph.labels,
+            sensitive=small_graph.sensitive,
+            train_mask=small_graph.train_mask,
+            val_mask=small_graph.val_mask,
+            test_mask=small_graph.test_mask,
+        )
+        with pytest.raises(ValueError, match="related"):
+            FairRF(**FAST).fit(stripped, seed=0)
+
+    def test_weights_live_on_simplex(self, small_graph):
+        result = FairRF(**FAST).fit(small_graph, seed=0)
+        weights = result.extra["final_weights"]
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights >= 0).all()
+
+    def test_rejects_negative_beta(self):
+        with pytest.raises(ValueError):
+            FairRF(beta=-1.0)
+
+    def test_beta_zero_close_to_vanilla_utility(self, small_graph):
+        fair = FairRF(beta=0.0, **FAST).fit(small_graph, seed=0)
+        assert fair.test.accuracy > 0.4
+
+
+class TestFairGKD:
+    def test_teacher_epochs_default_and_override(self, small_graph):
+        result = FairGKD(teacher_epochs=10, **FAST).fit(small_graph, seed=0)
+        assert result.extra["teacher_epochs"] == 10
+        result = FairGKD(**FAST).fit(small_graph, seed=0)
+        assert result.extra["teacher_epochs"] == FAST["epochs"]
+
+    def test_rejects_negative_distill_weight(self):
+        with pytest.raises(ValueError):
+            FairGKD(distill_weight=-0.1)
+
+    def test_slower_than_vanilla(self, small_graph):
+        # Two extra teachers must cost wall-clock time (Fig. 8's claim).
+        vanilla = Vanilla(**FAST).fit(small_graph, seed=0)
+        gkd = FairGKD(**FAST).fit(small_graph, seed=0)
+        assert gkd.seconds > vanilla.seconds

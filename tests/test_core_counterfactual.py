@@ -1,0 +1,153 @@
+"""Tests for the counterfactual search (Section III-D, Eq. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CounterfactualSearch
+
+
+class TestSearchBasics:
+    def test_finds_nearest_opposite_attribute(self):
+        # 1-D representations, one attribute, all same label.
+        reps = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.zeros(4, dtype=int)
+        attrs = np.array([[0], [1], [0], [1]])
+        index = CounterfactualSearch(top_k=1).search(reps, labels, attrs)
+        # node 0 (attr 0) → nearest attr-1 node is node 1.
+        assert index.indices[0, 0, 0] == 1
+        # node 2 (attr 0) → nearest attr-1 node is node 3.
+        assert index.indices[0, 2, 0] == 3
+        assert index.valid.all()
+
+    def test_counterfactuals_have_same_label(self):
+        rng = np.random.default_rng(0)
+        reps = rng.normal(size=(40, 4))
+        labels = rng.integers(0, 2, size=40)
+        attrs = rng.integers(0, 2, size=(40, 3))
+        index = CounterfactualSearch(top_k=2).search(reps, labels, attrs)
+        for attr in range(3):
+            for node in range(40):
+                if not index.valid[attr, node]:
+                    continue
+                for k in range(2):
+                    assert labels[index.indices[attr, node, k]] == labels[node]
+
+    def test_counterfactuals_have_different_attribute(self):
+        rng = np.random.default_rng(1)
+        reps = rng.normal(size=(30, 4))
+        labels = rng.integers(0, 2, size=30)
+        attrs = rng.integers(0, 2, size=(30, 2))
+        index = CounterfactualSearch(top_k=2).search(reps, labels, attrs)
+        for attr in range(2):
+            for node in range(30):
+                if not index.valid[attr, node]:
+                    continue
+                for cf in index.indices[attr, node]:
+                    assert attrs[cf, attr] != attrs[node, attr]
+
+    def test_top_k_ordered_by_distance(self):
+        reps = np.array([[0.0], [1.0], [2.0], [5.0]])
+        labels = np.zeros(4, dtype=int)
+        attrs = np.array([[0], [1], [1], [1]])
+        index = CounterfactualSearch(top_k=3).search(reps, labels, attrs)
+        np.testing.assert_array_equal(index.indices[0, 0], [1, 2, 3])
+
+    def test_invalid_when_no_opposite_side(self):
+        reps = np.random.default_rng(2).normal(size=(5, 2))
+        labels = np.zeros(5, dtype=int)
+        attrs = np.zeros((5, 1), dtype=int)  # everyone on the same side
+        index = CounterfactualSearch(top_k=1).search(reps, labels, attrs)
+        assert not index.valid.any()
+        # Invalid entries self-point so downstream gathers stay in range.
+        np.testing.assert_array_equal(index.indices[0, :, 0], np.arange(5))
+
+    def test_cycles_when_fewer_candidates_than_k(self):
+        reps = np.array([[0.0], [1.0], [2.0]])
+        labels = np.zeros(3, dtype=int)
+        attrs = np.array([[0], [0], [1]])  # single attr-1 candidate
+        index = CounterfactualSearch(top_k=3).search(reps, labels, attrs)
+        np.testing.assert_array_equal(index.indices[0, 0], [2, 2, 2])
+        assert index.valid[0, 0]
+
+    def test_labels_partition_search(self):
+        # Nearest opposite-attr node overall has a different label and must
+        # NOT be selected.
+        reps = np.array([[0.0], [0.1], [5.0]])
+        labels = np.array([0, 1, 0])
+        attrs = np.array([[0], [1], [1]])
+        index = CounterfactualSearch(top_k=1).search(reps, labels, attrs)
+        assert index.indices[0, 0, 0] == 2  # node 1 excluded by label
+
+    def test_coverage_statistic(self):
+        reps = np.random.default_rng(3).normal(size=(10, 2))
+        labels = np.zeros(10, dtype=int)
+        attrs = np.zeros((10, 2), dtype=int)
+        attrs[:5, 0] = 1  # attr 0 has both sides, attr 1 does not
+        index = CounterfactualSearch(top_k=1).search(reps, labels, attrs)
+        assert index.coverage() == pytest.approx(0.5)
+
+    def test_result_shape_properties(self):
+        reps = np.random.default_rng(4).normal(size=(12, 3))
+        labels = np.random.default_rng(5).integers(0, 2, size=12)
+        attrs = np.random.default_rng(6).integers(0, 2, size=(12, 4))
+        index = CounterfactualSearch(top_k=2).search(reps, labels, attrs)
+        assert index.num_attributes == 4
+        assert index.top_k == 2
+        assert index.indices.shape == (4, 12, 2)
+        assert index.valid.shape == (4, 12)
+
+
+class TestValidationAndOptions:
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(ValueError):
+            CounterfactualSearch(top_k=0)
+
+    def test_rejects_small_candidate_pool(self):
+        with pytest.raises(ValueError):
+            CounterfactualSearch(top_k=5, candidate_pool=3)
+
+    def test_shape_mismatches(self):
+        search = CounterfactualSearch(top_k=1)
+        reps = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            search.search(reps, np.zeros(4, dtype=int), np.zeros((5, 1), dtype=int))
+        with pytest.raises(ValueError):
+            search.search(reps, np.zeros(5, dtype=int), np.zeros((4, 1), dtype=int))
+
+    def test_candidate_pool_subsampling_still_valid(self):
+        rng = np.random.default_rng(7)
+        reps = rng.normal(size=(60, 3))
+        labels = np.zeros(60, dtype=int)
+        attrs = rng.integers(0, 2, size=(60, 1))
+        index = CounterfactualSearch(
+            top_k=2, candidate_pool=5, rng=np.random.default_rng(0)
+        ).search(reps, labels, attrs)
+        for node in range(60):
+            for cf in index.indices[0, node]:
+                assert attrs[cf, 0] != attrs[node, 0]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 200), k=st.integers(1, 4))
+    def test_property_indices_always_in_range(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(6, 30))
+        reps = rng.normal(size=(n, 3))
+        labels = rng.integers(0, 2, size=n)
+        attrs = rng.integers(0, 2, size=(n, 2))
+        index = CounterfactualSearch(top_k=k).search(reps, labels, attrs)
+        assert index.indices.min() >= 0
+        assert index.indices.max() < n
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(8)
+        reps = rng.normal(size=(25, 4))
+        labels = rng.integers(0, 2, size=25)
+        attrs = rng.integers(0, 2, size=(25, 3))
+        a = CounterfactualSearch(top_k=2).search(reps, labels, attrs)
+        b = CounterfactualSearch(top_k=2).search(reps, labels, attrs)
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.valid, b.valid)

@@ -1,0 +1,190 @@
+"""Tests for the encoder module, binarisation, and the fair loss."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CounterfactualSearch,
+    EncoderModule,
+    binarize_attributes,
+    fair_representation_loss,
+)
+from repro.tensor import Tensor
+
+
+class TestBinarize:
+    def test_median_split_balanced(self):
+        values = np.arange(10.0).reshape(10, 1)
+        binary = binarize_attributes(values)
+        assert binary.sum() == 5  # strictly-above-median half
+
+    def test_quantile_parameter(self):
+        values = np.arange(100.0).reshape(100, 1)
+        binary = binarize_attributes(values, quantile=0.9)
+        assert binary.sum() == pytest.approx(10, abs=1)
+
+    def test_constant_column_all_zero(self):
+        binary = binarize_attributes(np.ones((5, 2)))
+        assert binary.sum() == 0
+
+    def test_output_dtype_and_shape(self):
+        binary = binarize_attributes(np.random.default_rng(0).normal(size=(8, 3)))
+        assert binary.dtype == np.int64
+        assert binary.shape == (8, 3)
+        assert set(np.unique(binary)) <= {0, 1}
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            binarize_attributes(np.ones(5))
+        with pytest.raises(ValueError):
+            binarize_attributes(np.ones((5, 2)), quantile=1.5)
+
+
+class TestEncoderModule:
+    def test_extract_before_pretrain_raises(self, tiny_graph):
+        encoder = EncoderModule(4, 8, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            encoder.extract(Tensor(tiny_graph.features), tiny_graph.adjacency)
+
+    def test_pretrain_then_extract_shape(self, small_graph):
+        encoder = EncoderModule(small_graph.num_features, 8, np.random.default_rng(0))
+        encoder.pretrain(
+            Tensor(small_graph.features),
+            small_graph.adjacency,
+            small_graph.labels,
+            small_graph.train_mask,
+            small_graph.val_mask,
+            epochs=20,
+        )
+        out = encoder.extract(Tensor(small_graph.features), small_graph.adjacency)
+        assert out.shape == (small_graph.num_nodes, 8)
+
+    def test_mlp_backbone_ignores_structure(self, small_graph):
+        import scipy.sparse as sp
+
+        encoder = EncoderModule(
+            small_graph.num_features, 4, np.random.default_rng(0), backbone="mlp"
+        )
+        encoder.pretrain(
+            Tensor(small_graph.features),
+            small_graph.adjacency,
+            small_graph.labels,
+            small_graph.train_mask,
+            small_graph.val_mask,
+            epochs=10,
+        )
+        out1 = encoder.extract(Tensor(small_graph.features), small_graph.adjacency)
+        empty = sp.csr_matrix((small_graph.num_nodes, small_graph.num_nodes))
+        out2 = encoder.extract(Tensor(small_graph.features), empty)
+        np.testing.assert_allclose(out1, out2)
+
+    def test_gcn_backbone_uses_structure(self, small_graph):
+        import scipy.sparse as sp
+
+        encoder = EncoderModule(
+            small_graph.num_features, 4, np.random.default_rng(0), backbone="gcn"
+        )
+        encoder.pretrain(
+            Tensor(small_graph.features),
+            small_graph.adjacency,
+            small_graph.labels,
+            small_graph.train_mask,
+            small_graph.val_mask,
+            epochs=10,
+        )
+        out1 = encoder.extract(Tensor(small_graph.features), small_graph.adjacency)
+        empty = sp.csr_matrix((small_graph.num_nodes, small_graph.num_nodes))
+        out2 = encoder.extract(Tensor(small_graph.features), empty)
+        assert not np.allclose(out1, out2)
+
+    def test_encoder_learns_the_task(self, small_graph):
+        encoder = EncoderModule(small_graph.num_features, 16, np.random.default_rng(0))
+        history = encoder.pretrain(
+            Tensor(small_graph.features),
+            small_graph.adjacency,
+            small_graph.labels,
+            small_graph.train_mask,
+            small_graph.val_mask,
+            epochs=80,
+        )
+        assert history.best_val_accuracy > 0.6
+
+
+class TestFairRepresentationLoss:
+    def _setup(self, seed=0, n=20, d=4, attrs=2, k=2):
+        rng = np.random.default_rng(seed)
+        reps = rng.normal(size=(n, d))
+        labels = rng.integers(0, 2, size=n)
+        binary = rng.integers(0, 2, size=(n, attrs))
+        index = CounterfactualSearch(top_k=k).search(reps, labels, binary)
+        return reps, index
+
+    def test_matches_manual_computation(self):
+        reps, index = self._setup()
+        weights = np.array([0.3, 0.7])
+        loss, disparities = fair_representation_loss(
+            Tensor(reps, requires_grad=True), index, weights
+        )
+        manual = np.zeros(2)
+        for attr in range(2):
+            valid = index.valid[attr]
+            if not valid.any():
+                continue
+            for k in range(index.top_k):
+                cf = reps[index.indices[attr, :, k]]
+                sq = ((reps - cf) ** 2).sum(axis=1)
+                manual[attr] += (sq * valid).sum() / valid.sum()
+        np.testing.assert_allclose(disparities, manual)
+        assert float(loss.data) == pytest.approx(float(weights @ manual))
+
+    def test_zero_when_representations_identical(self):
+        reps = np.ones((10, 3))
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=10)
+        binary = rng.integers(0, 2, size=(10, 2))
+        index = CounterfactualSearch(top_k=1).search(reps, labels, binary)
+        loss, disparities = fair_representation_loss(
+            Tensor(reps), index, np.array([0.5, 0.5])
+        )
+        assert float(loss.data) == pytest.approx(0.0)
+        np.testing.assert_allclose(disparities, 0.0)
+
+    def test_gradients_flow_to_representations(self):
+        reps, index = self._setup(seed=2)
+        tensor = Tensor(reps, requires_grad=True)
+        loss, _ = fair_representation_loss(tensor, index, np.array([0.5, 0.5]))
+        loss.backward()
+        assert tensor.grad is not None
+        assert np.abs(tensor.grad).sum() > 0
+
+    def test_zero_weight_attribute_excluded_from_loss(self):
+        reps, index = self._setup(seed=3)
+        loss_full, disp = fair_representation_loss(
+            Tensor(reps), index, np.array([1.0, 0.0])
+        )
+        assert float(loss_full.data) == pytest.approx(disp[0])
+
+    def test_invalid_pairs_contribute_zero(self):
+        reps = np.random.default_rng(4).normal(size=(8, 2))
+        labels = np.zeros(8, dtype=int)
+        binary = np.zeros((8, 1), dtype=int)  # no counterfactuals exist
+        index = CounterfactualSearch(top_k=2).search(reps, labels, binary)
+        loss, disparities = fair_representation_loss(
+            Tensor(reps), index, np.array([1.0])
+        )
+        assert float(loss.data) == 0.0
+        np.testing.assert_allclose(disparities, 0.0)
+
+    def test_weight_length_mismatch(self):
+        reps, index = self._setup(seed=5)
+        with pytest.raises(ValueError):
+            fair_representation_loss(Tensor(reps), index, np.array([1.0]))
+
+    def test_representation_row_mismatch(self):
+        reps, index = self._setup(seed=6)
+        with pytest.raises(ValueError):
+            fair_representation_loss(
+                Tensor(reps[:-1]), index, np.array([0.5, 0.5])
+            )

@@ -1,0 +1,126 @@
+"""Tests for DeepWalk embeddings, LayerNorm and the consistency metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.analysis import deepwalk_embeddings, kmeans
+from repro.fairness import consistency_score
+from repro.nn import LayerNorm
+from repro.tensor import Tensor, gradcheck
+from repro.tensor import ops
+
+
+def _two_block_graph(n=60, p_in=0.3, p_out=0.02, seed=0):
+    rng = np.random.default_rng(seed)
+    blocks = np.repeat([0, 1], n // 2)
+    probs = np.where(blocks[:, None] == blocks[None, :], p_in, p_out)
+    dense = rng.random((n, n)) < probs
+    dense = np.triu(dense, 1)
+    dense = dense + dense.T
+    return sp.csr_matrix(dense.astype(float)), blocks
+
+
+class TestDeepWalkEmbeddings:
+    def test_shape(self):
+        adj, _ = _two_block_graph()
+        emb = deepwalk_embeddings(adj, dimensions=4)
+        assert emb.shape == (60, 4)
+        assert np.isfinite(emb).all()
+
+    def test_recovers_communities(self):
+        adj, blocks = _two_block_graph()
+        emb = deepwalk_embeddings(adj, dimensions=4)
+        assignments, _, _ = kmeans(emb, 2, np.random.default_rng(0))
+        agreement = max(
+            (assignments == blocks).mean(), (assignments != blocks).mean()
+        )
+        assert agreement > 0.9
+
+    def test_empty_graph_embeds_at_origin(self):
+        emb = deepwalk_embeddings(sp.csr_matrix((10, 10)), dimensions=3)
+        np.testing.assert_allclose(emb, 0.0)
+
+    def test_deterministic(self):
+        adj, _ = _two_block_graph(seed=3)
+        a = deepwalk_embeddings(adj, dimensions=4)
+        b = deepwalk_embeddings(adj, dimensions=4)
+        np.testing.assert_allclose(a, b)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"dimensions": 0}, {"window": 0}, {"negative": 0.0}]
+    )
+    def test_rejects_bad_params(self, kwargs):
+        adj, _ = _two_block_graph()
+        with pytest.raises(ValueError):
+            deepwalk_embeddings(adj, **kwargs)
+
+    def test_rejects_too_many_dimensions(self):
+        adj, _ = _two_block_graph(n=10)
+        with pytest.raises(ValueError):
+            deepwalk_embeddings(adj, dimensions=100)
+
+
+class TestLayerNorm:
+    def test_normalises_rows(self):
+        layer = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).normal(loc=5.0, scale=3.0, size=(10, 8)))
+        out = layer(x).data
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_affine_parameters_learnable(self):
+        layer = LayerNorm(4)
+        assert len(layer.parameters()) == 2
+
+    def test_gradcheck(self):
+        layer = LayerNorm(5)
+        x = Tensor(np.random.default_rng(1).normal(size=(3, 5)), requires_grad=True)
+        assert gradcheck(
+            lambda x: ops.sum(ops.power(layer(x), 2.0)), [x], atol=1e-3, rtol=1e-3
+        )
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestConsistencyScore:
+    def test_constant_predictions_fully_consistent(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(30, 4))
+        assert consistency_score(np.ones(30), features) == 1.0
+
+    def test_feature_aligned_predictions_consistent(self):
+        # Two far-apart feature clusters with cluster-constant predictions.
+        rng = np.random.default_rng(1)
+        features = np.vstack(
+            [rng.normal(size=(20, 3)) + 50, rng.normal(size=(20, 3)) - 50]
+        )
+        logits = np.concatenate([np.ones(20), -np.ones(20)])
+        assert consistency_score(logits, features, num_neighbors=3) == 1.0
+
+    def test_random_predictions_inconsistent(self):
+        rng = np.random.default_rng(2)
+        features = rng.normal(size=(100, 3))
+        logits = rng.choice([-1.0, 1.0], size=100)
+        score = consistency_score(logits, features, num_neighbors=5)
+        assert 0.3 < score < 0.7
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="row mismatch"):
+            consistency_score(np.ones(3), np.ones((4, 2)))
+        with pytest.raises(ValueError, match="num_neighbors"):
+            consistency_score(np.ones(3), np.ones((3, 2)), num_neighbors=5)
+
+
+class TestExtCfFairnessExperiment:
+    def test_runs_and_formats(self):
+        from repro.experiments import Scale, format_ext_cf_fairness, run_ext_cf_fairness
+
+        result = run_ext_cf_fairness(dataset="nba", scale=Scale.smoke())
+        text = format_ext_cf_fairness(result)
+        assert "flip rate" in text
+        assert 0.0 <= result.consistency_fairwos <= 1.0

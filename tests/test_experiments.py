@@ -1,0 +1,159 @@
+"""Tests for the experiment harness (tables & figures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    FAIRWOS_OVERRIDES,
+    Scale,
+    available_methods,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_table1,
+    format_table2,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_method,
+    run_table1,
+    run_table2,
+)
+from repro.experiments.fig7_tsne import knn_leakage, silhouette
+from repro.datasets import load_dataset
+
+SMOKE = Scale.smoke()
+
+
+class TestScale:
+    def test_presets(self):
+        assert Scale.paper().seeds == 10
+        assert Scale.quick().seeds >= 1
+        assert Scale.smoke().epochs < Scale.quick().epochs
+
+
+class TestMethodRegistry:
+    def test_six_methods(self):
+        assert available_methods() == [
+            "vanilla", "remover", "ksmote", "fairrf", "fairgkd", "fairwos",
+        ]
+
+    def test_overrides_cover_all_datasets(self):
+        from repro.datasets import available_datasets
+
+        for name in available_datasets():
+            assert name in FAIRWOS_OVERRIDES
+
+    @pytest.mark.parametrize("method", ["vanilla", "fairwos"])
+    def test_run_method(self, method, small_graph):
+        result = run_method(method, small_graph, epochs=25, finetune_epochs=2, patience=5)
+        assert 0.0 <= result.test.accuracy <= 1.0
+
+    def test_unknown_method(self, small_graph):
+        with pytest.raises(ValueError, match="unknown method"):
+            run_method("mystery", small_graph)
+
+
+class TestTable1:
+    def test_rows_and_formatting(self):
+        rows = run_table1(seed=0)
+        assert len(rows) == 6
+        text = format_table1(rows)
+        for name in ("bail", "credit", "nba", "occupation"):
+            assert name in text
+        assert "Table I" in text
+
+    def test_degree_calibration_within_tolerance(self):
+        for row in run_table1(seed=0):
+            assert row["avg_degree"] == pytest.approx(
+                row["paper_avg_degree"], rel=0.15
+            )
+
+
+class TestTable2:
+    def test_small_grid(self):
+        result = run_table2(
+            datasets=["nba"], backbones=["gcn"],
+            methods=["vanilla", "fairwos"], scale=SMOKE,
+        )
+        summary = result.get("nba", "gcn", "vanilla")
+        assert summary.runs == SMOKE.seeds
+        assert 0.0 <= summary.acc_mean <= 100.0
+        text = format_table2(result)
+        assert "Vanilla\\S" in text and "Fairwos" in text
+
+
+class TestFig4:
+    def test_variants_and_formatting(self):
+        result = run_fig4(
+            datasets=["nba"], backbones=["gcn"],
+            variants=["gnn", "fwos_wo_f", "fairwos"], scale=SMOKE,
+        )
+        assert ("nba", "gcn", "fairwos") in result.cells
+        text = format_fig4(result)
+        assert "Fwos w/o F" in text
+
+    def test_unknown_variant(self):
+        with pytest.raises(ValueError):
+            run_fig4(datasets=["nba"], backbones=["gcn"],
+                     variants=["bogus"], scale=SMOKE)
+
+
+class TestFig5:
+    def test_dimension_sweep(self):
+        result = run_fig5(dataset="nba", dims=[4], backbones=["gcn"], scale=SMOKE)
+        assert ("gcn", "fairwos", 4) in result.cells
+        assert ("gcn", "gnn", 0) in result.cells
+        assert "d=4" in format_fig5(result)
+
+
+class TestFig6:
+    def test_alpha_k_grid(self):
+        result = run_fig6(dataset="nba", alphas=[0.0, 1.0], ks=[1, 2], scale=SMOKE)
+        assert len(result.cells) == 4
+        text = format_fig6(result)
+        assert "ACC" in text and "ΔSP" in text
+
+
+class TestFig7:
+    def test_separation_scores(self):
+        result = run_fig7(dataset="nba", scale=SMOKE, tsne_iterations=50)
+        assert result.embedding.shape[1] == 2
+        assert len(result.embedding) == len(result.sensitive)
+        assert -1.0 <= result.silhouette_score <= 1.0
+        assert 0.0 <= result.leakage <= 1.0
+        assert "t-SNE" in format_fig7(result)
+
+    def test_silhouette_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        points = np.vstack([rng.normal(size=(20, 2)) + 50, rng.normal(size=(20, 2)) - 50])
+        groups = np.repeat([0, 1], 20)
+        assert silhouette(points, groups) > 0.9
+        assert knn_leakage(points, groups) == 1.0
+
+    def test_silhouette_single_group_raises(self):
+        with pytest.raises(ValueError):
+            silhouette(np.zeros((4, 2)), np.zeros(4))
+
+
+class TestFig8:
+    def test_runtime_entries(self):
+        result = run_fig8(
+            dataset="nba", scale=SMOKE, entries=["vanilla", "fairwos", "fwos_wo_f"],
+        )
+        assert set(result.seconds_mean) == {"vanilla", "fairwos", "fwos_wo_f"}
+        assert all(v > 0 for v in result.seconds_mean.values())
+        assert "seconds" in format_fig8(result)
+
+    def test_fairwos_slower_than_wo_f(self):
+        result = run_fig8(
+            dataset="nba", scale=SMOKE, entries=["fairwos", "fwos_wo_f"],
+        )
+        # Fairness fine-tuning adds work on top of the w/o F variant.
+        assert result.seconds_mean["fairwos"] > result.seconds_mean["fwos_wo_f"]

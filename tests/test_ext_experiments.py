@@ -1,0 +1,50 @@
+"""Tests for the extension experiments (backbone sweep, oracle comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    Scale,
+    format_ext_backbones,
+    format_ext_oracle,
+    run_ext_backbones,
+    run_ext_oracle,
+)
+
+SMOKE = Scale.smoke()
+
+
+class TestBackboneSweep:
+    def test_two_backbones(self):
+        result = run_ext_backbones(dataset="nba", backbones=["gcn", "sage"], scale=SMOKE)
+        assert ("gcn", "fairwos") in result.cells
+        assert ("sage", "gnn") in result.cells
+        text = format_ext_backbones(result)
+        assert "SAGE" in text and "Fairwos" in text
+
+    def test_gat_backbone_runs(self):
+        result = run_ext_backbones(dataset="nba", backbones=["gat"], scale=SMOKE)
+        summary = result.cells[("gat", "fairwos")]
+        assert 0.0 <= summary.acc_mean <= 100.0
+
+
+class TestOracleComparison:
+    def test_entries(self):
+        result = run_ext_oracle(
+            dataset="nba", scale=SMOKE, entries=["vanilla", "fairwos"]
+        )
+        assert set(result.cells) == {"vanilla", "fairwos"}
+        text = format_ext_oracle(result)
+        assert "oracle" in text
+
+    def test_oracle_entries_run(self):
+        result = run_ext_oracle(
+            dataset="nba", scale=SMOKE, entries=["nifty", "fairgnn"]
+        )
+        for entry in ("nifty", "fairgnn"):
+            assert 0.0 <= result.cells[entry].acc_mean <= 100.0
+
+    def test_unknown_entry(self):
+        with pytest.raises(ValueError):
+            run_ext_oracle(dataset="nba", scale=SMOKE, entries=["bogus"])

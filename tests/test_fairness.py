@@ -1,0 +1,204 @@
+"""Tests for fairness metrics and the evaluation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fairness import (
+    accuracy,
+    auc_score,
+    counterfactual_flip_rate,
+    demographic_parity_difference,
+    equal_opportunity_difference,
+    evaluate_predictions,
+    f1_score,
+    group_confusion,
+    group_positive_rates,
+)
+
+
+class TestUtilityMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_accuracy_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_f1_perfect(self):
+        assert f1_score(np.array([1, 0, 1]), np.array([1, 0, 1])) == 1.0
+
+    def test_f1_degenerate_no_positives(self):
+        assert f1_score(np.zeros(4, dtype=int), np.zeros(4, dtype=int)) == 0.0
+
+    def test_f1_hand_computed(self):
+        # tp=1, fp=1, fn=1 → f1 = 2/(2+1+1) = 0.5
+        preds = np.array([1, 1, 0, 0])
+        labels = np.array([1, 0, 1, 0])
+        assert f1_score(preds, labels) == pytest.approx(0.5)
+
+    def test_auc_perfect_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert auc_score(scores, labels) == 1.0
+
+    def test_auc_random_is_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=10_000)
+        labels = rng.integers(0, 2, size=10_000)
+        assert auc_score(scores, labels) == pytest.approx(0.5, abs=0.02)
+
+    def test_auc_ties_averaged(self):
+        scores = np.zeros(4)
+        labels = np.array([0, 1, 0, 1])
+        assert auc_score(scores, labels) == pytest.approx(0.5)
+
+    def test_auc_needs_both_classes(self):
+        with pytest.raises(ValueError):
+            auc_score(np.ones(3), np.ones(3, dtype=int))
+
+    def test_binary_validation(self):
+        with pytest.raises(ValueError, match="binary"):
+            f1_score(np.array([0, 2]), np.array([0, 1]))
+
+
+class TestFairnessMetrics:
+    def test_dsp_hand_computed(self):
+        # group 0: rate 1.0; group 1: rate 0.5 → ΔSP = 0.5
+        preds = np.array([1, 1, 1, 0])
+        sens = np.array([0, 0, 1, 1])
+        assert demographic_parity_difference(preds, sens) == pytest.approx(0.5)
+
+    def test_dsp_zero_when_equal(self):
+        preds = np.array([1, 0, 1, 0])
+        sens = np.array([0, 0, 1, 1])
+        assert demographic_parity_difference(preds, sens) == 0.0
+
+    def test_dsp_empty_group_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            demographic_parity_difference(np.array([1, 0]), np.array([0, 0]))
+
+    def test_deo_hand_computed(self):
+        # positives only: group 0 TPR 1.0, group 1 TPR 0.0 → ΔEO = 1
+        preds = np.array([1, 0, 0, 1])
+        labels = np.array([1, 1, 0, 0])
+        sens = np.array([0, 1, 0, 1])
+        assert equal_opportunity_difference(preds, labels, sens) == 1.0
+
+    def test_deo_no_positives_raises(self):
+        with pytest.raises(ValueError, match="positive"):
+            equal_opportunity_difference(
+                np.array([0, 0]), np.array([0, 0]), np.array([0, 1])
+            )
+
+    def test_group_positive_rates_order(self):
+        preds = np.array([1, 0, 1, 1])
+        sens = np.array([0, 0, 1, 1])
+        rate0, rate1 = group_positive_rates(preds, sens)
+        assert rate0 == pytest.approx(0.5)
+        assert rate1 == pytest.approx(1.0)
+
+    def test_group_confusion_counts(self):
+        preds = np.array([1, 0, 1, 0])
+        labels = np.array([1, 1, 0, 0])
+        sens = np.array([0, 0, 1, 1])
+        confusion = group_confusion(preds, labels, sens)
+        assert confusion[0] == {"tp": 1, "fp": 0, "tn": 0, "fn": 1}
+        assert confusion[1] == {"tp": 0, "fp": 1, "tn": 1, "fn": 0}
+
+    def test_flip_rate(self):
+        assert counterfactual_flip_rate(
+            np.array([1, 1, 0, 0]), np.array([1, 0, 0, 1])
+        ) == pytest.approx(0.5)
+
+    def test_flip_rate_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            counterfactual_flip_rate(np.array([1]), np.array([1, 0]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500), n=st.integers(4, 60))
+    def test_property_dsp_bounds_and_symmetry(self, seed, n):
+        rng = np.random.default_rng(seed)
+        preds = rng.integers(0, 2, size=n)
+        sens = rng.integers(0, 2, size=n)
+        if sens.min() == sens.max():
+            sens[0] = 1 - sens[0]
+        value = demographic_parity_difference(preds, sens)
+        assert 0.0 <= value <= 1.0
+        # Swapping group labels leaves ΔSP invariant.
+        assert demographic_parity_difference(preds, 1 - sens) == pytest.approx(value)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_deo_conditioning(self, seed):
+        # ΔEO equals ΔSP computed on the ground-truth-positive subset.
+        rng = np.random.default_rng(seed)
+        n = 40
+        preds = rng.integers(0, 2, size=n)
+        labels = rng.integers(0, 2, size=n)
+        sens = np.tile([0, 1], n // 2)
+        labels[:4] = 1  # ensure positives in both groups
+        positives = labels == 1
+        if len(np.unique(sens[positives])) < 2:
+            return
+        expected = demographic_parity_difference(preds[positives], sens[positives])
+        assert equal_opportunity_difference(preds, labels, sens) == pytest.approx(
+            expected
+        )
+
+
+class TestEvaluation:
+    def test_eval_result_fields(self):
+        logits = np.array([2.0, -2.0, 2.0, -2.0])
+        labels = np.array([1, 0, 1, 0])
+        sens = np.array([0, 0, 1, 1])
+        result = evaluate_predictions(logits, labels, sens)
+        assert result.accuracy == 1.0
+        assert result.delta_sp == 0.0
+        assert result.num_nodes == 4
+
+    def test_mask_restriction(self):
+        logits = np.array([2.0, -2.0, 2.0, -2.0, -5.0, -5.0])
+        labels = np.array([1, 0, 1, 0, 0, 0])
+        sens = np.array([0, 0, 1, 1, 0, 1])
+        mask = np.array([True, True, True, True, False, False])
+        result = evaluate_predictions(logits, labels, sens, mask)
+        assert result.num_nodes == 4
+        assert result.accuracy == 1.0
+
+    def test_threshold_shifts_predictions(self):
+        logits = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([1, 1, 0, 0])
+        sens = np.array([0, 1, 0, 1])
+        low = evaluate_predictions(logits, labels, sens, threshold=0.0)
+        high = evaluate_predictions(logits, labels, sens, threshold=1.0)
+        assert low.positive_rate_s0 == 1.0
+        assert high.positive_rate_s0 == 0.0
+
+    def test_empty_mask_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_predictions(
+                np.ones(3), np.ones(3), np.array([0, 1, 0]), np.zeros(3, dtype=bool)
+            )
+
+    def test_percentages(self):
+        logits = np.array([2.0, -2.0, 2.0, -2.0])
+        labels = np.array([1, 0, 1, 0])
+        sens = np.array([0, 0, 1, 1])
+        result = evaluate_predictions(logits, labels, sens)
+        assert result.as_percentages()["ACC"] == 100.0
+
+    def test_str_contains_metrics(self):
+        logits = np.array([2.0, -2.0, 2.0, -2.0])
+        result = evaluate_predictions(
+            logits, np.array([1, 0, 1, 0]), np.array([0, 0, 1, 1])
+        )
+        text = str(result)
+        assert "ACC" in text and "ΔSP" in text and "ΔEO" in text

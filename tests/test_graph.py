@@ -1,0 +1,212 @@
+"""Tests for the Graph container, normalisation and graph utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    Graph,
+    add_self_loops,
+    adjacency_from_edges,
+    degree_vector,
+    edge_homophily,
+    edges_from_adjacency,
+    gcn_normalize,
+    k_hop_neighbors,
+    row_normalize,
+    to_symmetric,
+)
+
+
+class TestGraphContainer:
+    def test_basic_stats(self, tiny_graph):
+        assert tiny_graph.num_nodes == 6
+        assert tiny_graph.num_features == 4
+        assert tiny_graph.num_edges == 7
+        assert tiny_graph.average_degree == pytest.approx(14 / 6)
+        assert tiny_graph.num_classes == 2
+
+    def test_split_sizes(self, tiny_graph):
+        assert tiny_graph.split_sizes() == {"train": 3, "val": 2, "test": 1}
+
+    def test_rejects_overlapping_masks(self, tiny_graph):
+        with pytest.raises(ValueError, match="overlap"):
+            Graph(
+                adjacency=tiny_graph.adjacency,
+                features=tiny_graph.features,
+                labels=tiny_graph.labels,
+                sensitive=tiny_graph.sensitive,
+                train_mask=tiny_graph.train_mask,
+                val_mask=tiny_graph.train_mask,
+                test_mask=tiny_graph.test_mask,
+            )
+
+    def test_rejects_shape_mismatch(self, tiny_graph):
+        with pytest.raises(ValueError):
+            Graph(
+                adjacency=sp.eye(5).tocsr(),
+                features=tiny_graph.features,
+                labels=tiny_graph.labels,
+                sensitive=tiny_graph.sensitive,
+                train_mask=tiny_graph.train_mask,
+                val_mask=tiny_graph.val_mask,
+                test_mask=tiny_graph.test_mask,
+            )
+
+    def test_rejects_out_of_range_related(self, tiny_graph):
+        with pytest.raises(ValueError, match="related"):
+            Graph(
+                adjacency=tiny_graph.adjacency,
+                features=tiny_graph.features,
+                labels=tiny_graph.labels,
+                sensitive=tiny_graph.sensitive,
+                train_mask=tiny_graph.train_mask,
+                val_mask=tiny_graph.val_mask,
+                test_mask=tiny_graph.test_mask,
+                related_feature_indices=np.array([10]),
+            )
+
+    def test_with_features(self, tiny_graph):
+        new = tiny_graph.with_features(np.zeros((6, 2)))
+        assert new.num_features == 2
+        assert tiny_graph.num_features == 4  # original untouched
+
+    def test_without_columns(self, tiny_graph):
+        reduced = tiny_graph.without_columns(np.array([0, 2]))
+        assert reduced.num_features == 2
+        np.testing.assert_allclose(reduced.features, tiny_graph.features[:, [1, 3]])
+        assert reduced.related_feature_indices.size == 0
+
+    def test_without_columns_remaps_related(self, tiny_graph):
+        # Remove column 1 (not related): related {0, 2} shift to {0, 1}.
+        reduced = tiny_graph.without_columns(np.array([1]))
+        np.testing.assert_array_equal(reduced.related_feature_indices, [0, 1])
+
+    def test_standardized(self, tiny_graph):
+        standard = tiny_graph.standardized()
+        np.testing.assert_allclose(standard.features.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(standard.features.std(axis=0), 1.0, atol=1e-12)
+
+    def test_standardized_constant_column(self, tiny_graph):
+        features = tiny_graph.features.copy()
+        features[:, 0] = 7.0
+        graph = tiny_graph.with_features(features)
+        np.testing.assert_allclose(graph.standardized().features[:, 0], 0.0)
+
+    def test_subgraph(self, tiny_graph):
+        sub = tiny_graph.subgraph(np.array([0, 1, 2]))
+        assert sub.num_nodes == 3
+        assert sub.num_edges == 3  # the first triangle
+        np.testing.assert_array_equal(sub.labels, [0, 0, 1])
+
+    def test_summary_mentions_name(self, tiny_graph):
+        assert "tiny" in tiny_graph.summary()
+
+
+class TestNormalization:
+    def test_add_self_loops(self, tiny_adjacency):
+        looped = add_self_loops(tiny_adjacency)
+        np.testing.assert_allclose(looped.diagonal(), 1.0)
+        assert looped.nnz == tiny_adjacency.nnz + 6
+
+    def test_gcn_normalize_symmetric(self, tiny_adjacency):
+        norm = gcn_normalize(tiny_adjacency)
+        np.testing.assert_allclose(norm.toarray(), norm.toarray().T, atol=1e-12)
+
+    def test_gcn_normalize_spectrum_bounded(self, tiny_adjacency):
+        norm = gcn_normalize(tiny_adjacency).toarray()
+        eigenvalues = np.linalg.eigvalsh(norm)
+        assert eigenvalues.max() <= 1.0 + 1e-9
+
+    def test_gcn_normalize_isolated_node(self):
+        adj = sp.csr_matrix((3, 3))
+        norm = gcn_normalize(adj)
+        # Only self-loops survive, each normalised to 1.
+        np.testing.assert_allclose(norm.toarray(), np.eye(3))
+
+    def test_row_normalize_rows_sum_to_one(self, tiny_adjacency):
+        norm = row_normalize(tiny_adjacency)
+        np.testing.assert_allclose(np.asarray(norm.sum(axis=1)).ravel(), 1.0)
+
+    def test_row_normalize_isolated_node_zero_row(self):
+        adj = sp.csr_matrix(np.array([[0, 1, 0], [1, 0, 0], [0, 0, 0]], dtype=float))
+        norm = row_normalize(adj)
+        np.testing.assert_allclose(np.asarray(norm.sum(axis=1)).ravel(), [1, 1, 0])
+
+    def test_to_symmetric(self):
+        adj = sp.csr_matrix(np.array([[0, 1], [0, 0]], dtype=float))
+        sym = to_symmetric(adj).toarray()
+        np.testing.assert_allclose(sym, [[0, 1], [1, 0]])
+
+
+class TestGraphUtils:
+    def test_edges_round_trip(self, tiny_adjacency):
+        edges = edges_from_adjacency(tiny_adjacency)
+        rebuilt = adjacency_from_edges(edges, 6)
+        np.testing.assert_allclose(rebuilt.toarray(), tiny_adjacency.toarray())
+
+    def test_edges_directed_count(self, tiny_adjacency):
+        assert len(edges_from_adjacency(tiny_adjacency, directed=True)) == 14
+
+    def test_adjacency_from_edges_drops_self_loops(self):
+        adj = adjacency_from_edges(np.array([[0, 0], [0, 1]]), 3)
+        assert adj[0, 0] == 0
+        assert adj[0, 1] == 1
+
+    def test_adjacency_from_edges_deduplicates(self):
+        adj = adjacency_from_edges(np.array([[0, 1], [1, 0], [0, 1]]), 2)
+        assert adj[0, 1] == 1.0
+        assert adj.nnz == 2
+
+    def test_adjacency_from_empty_edges(self):
+        assert adjacency_from_edges(np.zeros((0, 2)), 4).nnz == 0
+
+    def test_degree_vector(self, tiny_adjacency):
+        np.testing.assert_allclose(
+            degree_vector(tiny_adjacency), [2, 2, 3, 3, 2, 2]
+        )
+
+    def test_k_hop_zero_is_self(self, tiny_adjacency):
+        np.testing.assert_array_equal(k_hop_neighbors(tiny_adjacency, 0, 0), [0])
+
+    def test_k_hop_one(self, tiny_adjacency):
+        np.testing.assert_array_equal(k_hop_neighbors(tiny_adjacency, 0, 1), [0, 1, 2])
+
+    def test_k_hop_two_crosses_bridge(self, tiny_adjacency):
+        np.testing.assert_array_equal(
+            k_hop_neighbors(tiny_adjacency, 0, 2), [0, 1, 2, 3]
+        )
+
+    def test_k_hop_saturates(self, tiny_adjacency):
+        np.testing.assert_array_equal(
+            k_hop_neighbors(tiny_adjacency, 0, 10), np.arange(6)
+        )
+
+    def test_k_hop_negative_raises(self, tiny_adjacency):
+        with pytest.raises(ValueError):
+            k_hop_neighbors(tiny_adjacency, 0, -1)
+
+    def test_edge_homophily_extremes(self, tiny_adjacency):
+        all_same = np.zeros(6, dtype=int)
+        assert edge_homophily(tiny_adjacency, all_same) == 1.0
+        # Triangle membership: {0,1,2} vs {3,4,5} — only the bridge crosses.
+        groups = np.array([0, 0, 0, 1, 1, 1])
+        assert edge_homophily(tiny_adjacency, groups) == pytest.approx(6 / 7)
+
+    def test_edge_homophily_empty_graph(self):
+        assert edge_homophily(sp.csr_matrix((3, 3)), np.zeros(3)) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(4, 12))
+    def test_property_round_trip_random_graphs(self, seed, n):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n, n)) < 0.3).astype(float)
+        dense = np.triu(dense, k=1)
+        adj = sp.csr_matrix(dense + dense.T)
+        edges = edges_from_adjacency(adj)
+        rebuilt = adjacency_from_edges(edges, n)
+        np.testing.assert_allclose(rebuilt.toarray(), adj.toarray())

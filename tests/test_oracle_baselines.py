@@ -1,0 +1,81 @@
+"""Tests for the oracle (sensitive-attribute-using) reference baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import Vanilla
+from repro.baselines.base import MethodResult
+from repro.baselines.oracle import FairGNN, NIFTY
+
+FAST = dict(epochs=30, patience=10)
+
+
+@pytest.mark.parametrize("cls", [NIFTY, FairGNN], ids=["nifty", "fairgnn"])
+class TestOracleContract:
+    def test_fit_returns_method_result(self, cls, small_graph):
+        result = cls(**FAST).fit(small_graph, seed=0)
+        assert isinstance(result, MethodResult)
+        assert result.extra["uses_sensitive"] is True
+        assert 0.0 <= result.test.accuracy <= 1.0
+
+    def test_deterministic(self, cls, small_graph):
+        r1 = cls(**FAST).fit(small_graph, seed=2)
+        r2 = cls(**FAST).fit(small_graph, seed=2)
+        assert r1.test.accuracy == r2.test.accuracy
+
+
+class TestNIFTY:
+    def test_rejects_bad_edge_drop(self):
+        with pytest.raises(ValueError):
+            NIFTY(edge_drop_rate=1.0)
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            NIFTY(sim_weight=-0.1)
+
+    def test_edge_drop_zero_keeps_adjacency(self, small_graph):
+        method = NIFTY(edge_drop_rate=0.0, **FAST)
+        dropped = method._drop_edges(small_graph.adjacency, np.random.default_rng(0))
+        assert dropped is small_graph.adjacency
+
+    def test_edge_drop_removes_edges(self, small_graph):
+        method = NIFTY(edge_drop_rate=0.5, **FAST)
+        dropped = method._drop_edges(small_graph.adjacency, np.random.default_rng(0))
+        assert dropped.nnz < small_graph.adjacency.nnz
+
+    def test_reproduces_the_papers_critique(self):
+        """The paper argues perturbing only the sensitive bit gives
+        non-realistic counterfactuals that fail to constrain proxy/structure
+        bias.  Our NIFTY oracle exhibits exactly that: it does NOT reduce
+        ΔSP on the amplification-driven NBA benchmark (see EXPERIMENTS.md).
+        This test pins the observation structurally: NIFTY trains fine and
+        stays in metric bounds, but no fairness guarantee is asserted."""
+        from repro.datasets import load_dataset
+
+        graph = load_dataset("nba", seed=0)
+        result = NIFTY(epochs=60, patience=20).fit(graph, seed=0)
+        assert 0.0 <= result.test.delta_sp <= 1.0
+        assert result.test.accuracy > 0.5
+
+
+class TestFairGNN:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FairGNN(adversary_weight=-1.0)
+        with pytest.raises(ValueError):
+            FairGNN(adversary_steps=0)
+
+    def test_multiple_adversary_steps(self, small_graph):
+        result = FairGNN(adversary_steps=2, **FAST).fit(small_graph, seed=0)
+        assert 0.0 <= result.test.accuracy <= 1.0
+
+    def test_adversarial_training_reduces_bias_on_nba(self):
+        from repro.datasets import load_dataset
+
+        graph = load_dataset("nba", seed=0)
+        vanilla = Vanilla(epochs=150, patience=30).fit(graph, seed=0)
+        fair = FairGNN(epochs=150, patience=30).fit(graph, seed=0)
+        assert fair.test.delta_sp < vanilla.test.delta_sp
+        assert fair.test.accuracy >= vanilla.test.accuracy - 0.05

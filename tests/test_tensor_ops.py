@@ -1,0 +1,285 @@
+"""Gradient checks and behaviour tests for every op in repro.tensor.ops."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.tensor import Tensor, gradcheck
+from repro.tensor import ops
+
+
+def _t(rng, *shape, shift=0.0):
+    """Random tensor bounded away from kinks (|x| in ~[0.3, 2.3])."""
+    data = rng.uniform(0.3, 2.3, size=shape) * rng.choice([-1.0, 1.0], size=shape)
+    return Tensor(data + shift, requires_grad=True)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+# --------------------------------------------------------------------- #
+# arithmetic gradchecks
+# --------------------------------------------------------------------- #
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 4)
+        assert gradcheck(lambda a, b: ops.sum(ops.add(a, b)), [a, b])
+
+    def test_add_broadcast_row(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        assert gradcheck(lambda a, b: ops.sum(ops.mul(ops.add(a, b), a)), [a, b])
+
+    def test_add_broadcast_scalar(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng)
+        assert gradcheck(lambda a, b: ops.sum(ops.mul(ops.add(a, b), a)), [a, b])
+
+    def test_sub(self, rng):
+        a, b = _t(rng, 2, 5), _t(rng, 2, 5)
+        assert gradcheck(lambda a, b: ops.sum(ops.mul(ops.sub(a, b), b)), [a, b])
+
+    def test_neg(self, rng):
+        a = _t(rng, 4)
+        assert gradcheck(lambda a: ops.sum(ops.mul(ops.neg(a), a)), [a])
+
+    def test_mul(self, rng):
+        a, b = _t(rng, 3, 3), _t(rng, 3, 3)
+        assert gradcheck(lambda a, b: ops.sum(ops.mul(a, b)), [a, b])
+
+    def test_mul_broadcast_column(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 3, 1)
+        assert gradcheck(lambda a, b: ops.sum(ops.mul(a, b)), [a, b])
+
+    def test_div(self, rng):
+        a = _t(rng, 3, 2)
+        b = Tensor(rng.uniform(0.5, 2.0, size=(3, 2)), requires_grad=True)
+        assert gradcheck(lambda a, b: ops.sum(ops.div(a, b)), [a, b])
+
+    def test_power(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        assert gradcheck(lambda a: ops.sum(ops.power(a, 3.0)), [a])
+
+    def test_power_fractional(self, rng):
+        a = Tensor(rng.uniform(0.5, 2.0, size=(4,)), requires_grad=True)
+        assert gradcheck(lambda a: ops.sum(ops.power(a, 0.5)), [a])
+
+    def test_matmul(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4, 2)
+        assert gradcheck(lambda a, b: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_matmul_vector(self, rng):
+        a, b = _t(rng, 3, 4), _t(rng, 4)
+        assert gradcheck(lambda a, b: ops.sum(ops.matmul(a, b)), [a, b])
+
+    def test_spmm(self, rng):
+        matrix = sp.random(5, 5, density=0.5, random_state=1, format="csr")
+        h = _t(rng, 5, 3)
+        assert gradcheck(lambda h: ops.sum(ops.spmm(matrix, h)), [h])
+
+    def test_spmm_asymmetric_adjoint(self, rng):
+        # Non-symmetric matrix: adjoint must be A.T @ grad, not A @ grad.
+        matrix = sp.csr_matrix(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        h = Tensor(np.ones((2, 1)), requires_grad=True)
+        out = ops.sum(ops.spmm(matrix, h))
+        out.backward()
+        np.testing.assert_allclose(h.grad, np.array([[0.0], [2.0]]))
+
+
+# --------------------------------------------------------------------- #
+# nonlinearity gradchecks
+# --------------------------------------------------------------------- #
+class TestNonlinearityGradients:
+    @pytest.mark.parametrize(
+        "op",
+        [ops.relu, ops.sigmoid, ops.tanh, ops.exp, ops.absolute],
+        ids=["relu", "sigmoid", "tanh", "exp", "abs"],
+    )
+    def test_unary(self, rng, op):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda a: ops.sum(op(a)), [a])
+
+    def test_leaky_relu(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda a: ops.sum(ops.leaky_relu(a, 0.1)), [a])
+
+    def test_log(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, size=(4,)), requires_grad=True)
+        assert gradcheck(lambda a: ops.sum(ops.log(a)), [a])
+
+    def test_sqrt(self, rng):
+        a = Tensor(rng.uniform(0.5, 3.0, size=(4,)), requires_grad=True)
+        assert gradcheck(lambda a: ops.sum(ops.sqrt(a)), [a])
+
+    def test_maximum(self, rng):
+        a = Tensor(rng.uniform(1.0, 2.0, size=(5,)), requires_grad=True)
+        b = Tensor(rng.uniform(2.5, 3.5, size=(5,)), requires_grad=True)
+        assert gradcheck(lambda a, b: ops.sum(ops.maximum(a, b)), [a, b])
+
+    def test_where(self, rng):
+        condition = np.array([True, False, True, False])
+        a, b = _t(rng, 4), _t(rng, 4)
+        assert gradcheck(lambda a, b: ops.sum(ops.where(condition, a, b)), [a, b])
+
+    def test_sigmoid_extreme_values_stable(self):
+        out = ops.sigmoid(Tensor(np.array([-1000.0, 0.0, 1000.0])))
+        np.testing.assert_allclose(out.data, [0.0, 0.5, 1.0], atol=1e-12)
+        assert np.isfinite(out.data).all()
+
+
+# --------------------------------------------------------------------- #
+# reductions / shape ops
+# --------------------------------------------------------------------- #
+class TestReductionsAndShapes:
+    def test_sum_all(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda a: ops.sum(a), [a])
+
+    def test_sum_axis(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda a: ops.sum(ops.mul(ops.sum(a, axis=0), ops.sum(a, axis=0))), [a])
+
+    def test_sum_keepdims(self, rng):
+        a = _t(rng, 3, 4)
+        out = ops.sum(a, axis=1, keepdims=True)
+        assert out.shape == (3, 1)
+
+    def test_mean_all(self, rng):
+        a = _t(rng, 6)
+        assert gradcheck(lambda a: ops.mean(a), [a])
+
+    def test_mean_axis_value(self, rng):
+        a = _t(rng, 3, 4)
+        np.testing.assert_allclose(ops.mean(a, axis=1).data, a.data.mean(axis=1))
+
+    def test_mean_axis_gradient(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(
+            lambda a: ops.sum(ops.power(ops.mean(a, axis=0), 2.0)), [a]
+        )
+
+    def test_reshape(self, rng):
+        a = _t(rng, 3, 4)
+        assert gradcheck(lambda a: ops.sum(ops.mul(ops.reshape(a, (12,)), ops.reshape(a, (12,)))), [a])
+
+    def test_transpose(self, rng):
+        a = _t(rng, 3, 4)
+        out = ops.transpose(a)
+        assert out.shape == (4, 3)
+        assert gradcheck(lambda a: ops.sum(ops.matmul(a, ops.transpose(a))), [a])
+
+    def test_transpose_axes(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)), requires_grad=True)
+        out = ops.transpose(a, (2, 0, 1))
+        assert out.shape == (4, 2, 3)
+
+    def test_concat(self, rng):
+        a, b = _t(rng, 2, 3), _t(rng, 4, 3)
+        out = ops.concat([a, b], axis=0)
+        assert out.shape == (6, 3)
+        assert gradcheck(lambda a, b: ops.sum(ops.power(ops.concat([a, b], axis=0), 2.0)), [a, b])
+
+    def test_index_rows(self, rng):
+        a = _t(rng, 5, 3)
+        idx = np.array([0, 2, 2, 4])
+        assert gradcheck(lambda a: ops.sum(ops.power(ops.index(a, idx), 2.0)), [a])
+
+    def test_gather_duplicates_accumulate(self, rng):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = ops.sum(ops.gather(a, np.array([1, 1, 1])))
+        out.backward()
+        np.testing.assert_allclose(a.grad, [[0, 0], [3, 3], [0, 0]])
+
+    def test_gather_gradcheck(self, rng):
+        a = _t(rng, 5, 2)
+        idx = np.array([4, 0, 0, 3, 1])
+        assert gradcheck(lambda a: ops.sum(ops.power(ops.gather(a, idx), 2.0)), [a])
+
+    def test_scatter_add_forward(self):
+        a = Tensor(np.array([[1.0], [2.0], [3.0]]))
+        out = ops.scatter_add(a, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [3.0]])
+
+    def test_scatter_add_gradcheck(self, rng):
+        a = _t(rng, 4, 2)
+        idx = np.array([0, 1, 1, 2])
+        assert gradcheck(
+            lambda a: ops.sum(ops.power(ops.scatter_add(a, idx, 3), 2.0)), [a]
+        )
+
+    def test_scatter_gather_adjoint_pair(self, rng):
+        # <gather(a, idx), b> == <a, scatter_add(b, idx, n)>
+        a = Tensor(rng.normal(size=(5, 3)))
+        b = Tensor(rng.normal(size=(7, 3)))
+        idx = rng.integers(0, 5, size=7)
+        lhs = float(np.sum(ops.gather(a, idx).data * b.data))
+        rhs = float(np.sum(a.data * ops.scatter_add(b, idx, 5).data))
+        assert lhs == pytest.approx(rhs)
+
+
+# --------------------------------------------------------------------- #
+# softmax family
+# --------------------------------------------------------------------- #
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        a = _t(rng, 4, 6)
+        np.testing.assert_allclose(ops.softmax(a, axis=1).data.sum(axis=1), 1.0)
+
+    def test_softmax_gradcheck(self, rng):
+        a = _t(rng, 3, 4)
+        w = Tensor(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda a: ops.sum(ops.mul(ops.softmax(a, axis=1), w)), [a])
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        a = _t(rng, 3, 5)
+        np.testing.assert_allclose(
+            ops.log_softmax(a, axis=1).data,
+            np.log(ops.softmax(a, axis=1).data),
+            atol=1e-12,
+        )
+
+    def test_log_softmax_gradcheck(self, rng):
+        a = _t(rng, 3, 4)
+        w = Tensor(rng.normal(size=(3, 4)))
+        assert gradcheck(lambda a: ops.sum(ops.mul(ops.log_softmax(a, axis=1), w)), [a])
+
+    def test_log_softmax_large_logits_stable(self):
+        out = ops.log_softmax(Tensor(np.array([[1000.0, 0.0]])), axis=1)
+        assert np.isfinite(out.data).all()
+
+    def test_logsumexp_value(self, rng):
+        a = _t(rng, 3, 4)
+        expected = np.log(np.exp(a.data).sum(axis=1))
+        np.testing.assert_allclose(ops.logsumexp(a, axis=1).data, expected)
+
+    def test_logsumexp_gradcheck(self, rng):
+        a = _t(rng, 2, 5)
+        assert gradcheck(lambda a: ops.sum(ops.logsumexp(a, axis=1)), [a])
+
+    def test_logsumexp_keepdims(self, rng):
+        a = _t(rng, 3, 4)
+        assert ops.logsumexp(a, axis=1, keepdims=True).shape == (3, 1)
+
+
+# --------------------------------------------------------------------- #
+# dropout mask
+# --------------------------------------------------------------------- #
+class TestDropoutMask:
+    def test_mask_scaling(self):
+        rng = np.random.default_rng(0)
+        mask = ops.dropout_mask((10_000,), 0.4, rng)
+        kept = mask > 0
+        assert kept.mean() == pytest.approx(0.6, abs=0.03)
+        np.testing.assert_allclose(mask[kept], 1.0 / 0.6)
+
+    def test_rate_zero_keeps_everything(self):
+        mask = ops.dropout_mask((100,), 0.0, np.random.default_rng(0))
+        np.testing.assert_allclose(mask, 1.0)
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(ValueError):
+            ops.dropout_mask((3,), 1.0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            ops.dropout_mask((3,), -0.1, np.random.default_rng(0))

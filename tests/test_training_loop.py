@@ -1,0 +1,112 @@
+"""Tests for the shared supervised training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnnzoo import make_backbone
+from repro.tensor import Tensor
+from repro.tensor import ops
+from repro.training import fit_binary_classifier, predict_logits
+
+
+@pytest.fixture
+def setup(small_graph):
+    model = make_backbone(
+        "gcn", small_graph.num_features, 16, np.random.default_rng(0)
+    )
+    return model, Tensor(small_graph.features), small_graph
+
+
+class TestFitBinaryClassifier:
+    def test_training_improves_over_initial(self, setup):
+        model, features, graph = setup
+        initial = predict_logits(model, features, graph.adjacency)
+        initial_acc = (
+            ((initial[graph.val_mask] > 0).astype(int) == graph.labels[graph.val_mask])
+            .mean()
+        )
+        history = fit_binary_classifier(
+            model, features, graph.adjacency, graph.labels,
+            graph.train_mask, graph.val_mask, epochs=60,
+        )
+        assert history.best_val_accuracy >= initial_acc
+
+    def test_loss_decreases(self, setup):
+        model, features, graph = setup
+        history = fit_binary_classifier(
+            model, features, graph.adjacency, graph.labels,
+            graph.train_mask, graph.val_mask, epochs=50,
+        )
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_best_state_restored(self, setup):
+        model, features, graph = setup
+        history = fit_binary_classifier(
+            model, features, graph.adjacency, graph.labels,
+            graph.train_mask, graph.val_mask, epochs=40,
+        )
+        logits = predict_logits(model, features, graph.adjacency)
+        val_acc = (
+            ((logits[graph.val_mask] > 0).astype(int) == graph.labels[graph.val_mask])
+            .mean()
+        )
+        assert val_acc == pytest.approx(history.best_val_accuracy)
+
+    def test_early_stopping_stops(self, setup):
+        model, features, graph = setup
+        history = fit_binary_classifier(
+            model, features, graph.adjacency, graph.labels,
+            graph.train_mask, graph.val_mask, epochs=500, patience=3,
+        )
+        assert history.epochs_run < 500
+        assert history.stopped_early
+
+    def test_no_patience_runs_all_epochs(self, setup):
+        model, features, graph = setup
+        history = fit_binary_classifier(
+            model, features, graph.adjacency, graph.labels,
+            graph.train_mask, graph.val_mask, epochs=15, patience=None,
+        )
+        assert history.epochs_run == 15
+        assert not history.stopped_early
+
+    def test_extra_loss_hook_called(self, setup):
+        model, features, graph = setup
+        calls = []
+
+        def hook(logits):
+            calls.append(1)
+            return ops.mul(ops.mean(ops.power(logits, 2.0)), 0.01)
+
+        fit_binary_classifier(
+            model, features, graph.adjacency, graph.labels,
+            graph.train_mask, graph.val_mask, epochs=5, extra_loss=hook,
+        )
+        assert len(calls) == 5
+
+    def test_rejects_empty_masks(self, setup):
+        model, features, graph = setup
+        with pytest.raises(ValueError):
+            fit_binary_classifier(
+                model, features, graph.adjacency, graph.labels,
+                np.zeros(graph.num_nodes, dtype=bool), graph.val_mask, epochs=5,
+            )
+
+    def test_rejects_zero_epochs(self, setup):
+        model, features, graph = setup
+        with pytest.raises(ValueError):
+            fit_binary_classifier(
+                model, features, graph.adjacency, graph.labels,
+                graph.train_mask, graph.val_mask, epochs=0,
+            )
+
+    def test_predict_logits_mode_restoration(self, setup):
+        model, features, graph = setup
+        model.train()
+        predict_logits(model, features, graph.adjacency)
+        assert model.training
+        model.eval()
+        predict_logits(model, features, graph.adjacency)
+        assert not model.training
