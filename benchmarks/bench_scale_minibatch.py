@@ -1,0 +1,114 @@
+"""Scale benchmark: full-batch vs minibatch training on a scale-free graph.
+
+Trains the same SAGE backbone twice on a generated scale-free graph — once
+full-batch (``fit_binary_classifier``) and once with neighbour-sampled
+minibatches (``fit_minibatch``) — and reports wall-time, peak traced
+allocation (tracemalloc, which numpy reports into), and test accuracy.
+
+Graph size follows REPRO_BENCH_SCALE: smoke ≈ 2k nodes, quick ≈ 20k,
+paper ≈ 200k.  The minibatch engine's peak memory is bounded by the batch
+receptive field rather than N, so its advantage grows with scale; the
+ordering is only asserted at paper scale where the gap is structural.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+
+import numpy as np
+from conftest import bench_scale, record_output
+
+from repro.datasets import generate_scale_free_graph
+from repro.fairness.metrics import accuracy
+from repro.gnnzoo import make_backbone
+from repro.tensor import Tensor
+from repro.training import (
+    fit_binary_classifier,
+    fit_minibatch,
+    predict_logits,
+    predict_logits_batched,
+)
+
+SCALE = bench_scale()
+NODES = {1: 2_000, 2: 20_000, 10: 200_000}.get(SCALE.seeds, 20_000)
+EPOCHS = max(3, min(SCALE.epochs // 15, 10))
+FANOUTS = (10, 5)
+BATCH_SIZE = 512
+
+
+def _traced(fn):
+    """Run ``fn`` and return (result, seconds, peak_traced_bytes)."""
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn()
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak
+
+
+def test_scale_minibatch(benchmark):
+    graph = generate_scale_free_graph(
+        NODES, num_features=12, average_degree=8, seed=0
+    ).standardized()
+    test_labels = graph.labels[graph.test_mask]
+
+    def train_full():
+        model = make_backbone(
+            "sage", graph.num_features, 16, np.random.default_rng(0), num_layers=2
+        )
+        fit_binary_classifier(
+            model,
+            Tensor(graph.features),
+            graph.adjacency,
+            graph.labels,
+            graph.train_mask,
+            graph.val_mask,
+            epochs=EPOCHS,
+        )
+        logits = predict_logits(model, Tensor(graph.features), graph.adjacency)
+        return accuracy((logits[graph.test_mask] > 0).astype(np.int64), test_labels)
+
+    def train_minibatch():
+        model = make_backbone(
+            "sage", graph.num_features, 16, np.random.default_rng(0), num_layers=2
+        )
+        fit_minibatch(
+            model,
+            graph.features,
+            graph.adjacency,
+            graph.labels,
+            graph.train_mask,
+            graph.val_mask,
+            epochs=EPOCHS,
+            fanouts=FANOUTS,
+            batch_size=BATCH_SIZE,
+            rng=0,
+        )
+        logits = predict_logits_batched(
+            model, graph.features, graph.adjacency, batch_size=1024
+        )
+        return accuracy((logits[graph.test_mask] > 0).astype(np.int64), test_labels)
+
+    full_acc, full_s, full_peak = _traced(train_full)
+    mini_acc, mini_s, mini_peak = benchmark.pedantic(
+        lambda: _traced(train_minibatch), rounds=1, iterations=1
+    )
+
+    lines = [
+        f"scale-free graph: {graph.summary()}",
+        f"epochs={EPOCHS} fanouts={FANOUTS} batch_size={BATCH_SIZE}",
+        "",
+        f"{'mode':<12}{'seconds':>10}{'peak MiB':>12}{'test acc':>10}",
+        f"{'full-batch':<12}{full_s:>10.2f}{full_peak / 2**20:>12.1f}{full_acc:>10.3f}",
+        f"{'minibatch':<12}{mini_s:>10.2f}{mini_peak / 2**20:>12.1f}{mini_acc:>10.3f}",
+    ]
+    record_output("scale_minibatch", "\n".join(lines))
+
+    # Utility parity: the sampled estimator must stay competitive.
+    assert mini_acc >= full_acc - 0.05
+    # The memory bound is structural (independent of N) only once the graph
+    # dwarfs the batch receptive field; assert it at paper scale.
+    if NODES >= 100_000:
+        assert mini_peak < full_peak

@@ -8,15 +8,38 @@ from repro.baselines.base import BaselineMethod
 from repro.graph import Graph
 from repro.gnnzoo import make_backbone
 from repro.tensor import Tensor
-from repro.training import fit_binary_classifier, predict_logits
+from repro.training import (
+    fit_binary_classifier,
+    fit_minibatch,
+    predict_logits,
+    predict_logits_batched,
+)
 
 __all__ = ["Vanilla"]
 
 
 class Vanilla(BaselineMethod):
-    """Backbone GNN with plain cross-entropy training (no fairness)."""
+    """Backbone GNN with plain cross-entropy training (no fairness).
+
+    ``minibatch=True`` trains with neighbour-sampled batches
+    (:func:`repro.training.fit_minibatch`), which is the recommended path on
+    graphs beyond a few thousand nodes; evaluation then uses exact batched
+    inference, so the reported metrics are sampling-free.
+    """
 
     name = "Vanilla\\S"
+
+    def __init__(
+        self,
+        minibatch: bool = False,
+        fanouts: tuple[int, ...] | None = None,
+        batch_size: int = 512,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.minibatch = minibatch
+        self.fanouts = fanouts
+        self.batch_size = batch_size
 
     def _train_logits(self, graph: Graph, rng: np.random.Generator):
         model = make_backbone(
@@ -24,16 +47,35 @@ class Vanilla(BaselineMethod):
             num_layers=self.num_layers,
         )
         features = Tensor(graph.features)
-        history = fit_binary_classifier(
-            model,
-            features,
-            graph.adjacency,
-            graph.labels,
-            graph.train_mask,
-            graph.val_mask,
-            epochs=self.epochs,
-            lr=self.lr,
-            patience=self.patience,
-        )
-        logits = predict_logits(model, features, graph.adjacency)
+        if self.minibatch:
+            history = fit_minibatch(
+                model,
+                features,
+                graph.adjacency,
+                graph.labels,
+                graph.train_mask,
+                graph.val_mask,
+                epochs=self.epochs,
+                fanouts=self.fanouts,
+                batch_size=self.batch_size,
+                lr=self.lr,
+                patience=self.patience,
+                rng=rng,
+            )
+            logits = predict_logits_batched(
+                model, features, graph.adjacency, batch_size=self.batch_size
+            )
+        else:
+            history = fit_binary_classifier(
+                model,
+                features,
+                graph.adjacency,
+                graph.labels,
+                graph.train_mask,
+                graph.val_mask,
+                epochs=self.epochs,
+                lr=self.lr,
+                patience=self.patience,
+            )
+            logits = predict_logits(model, features, graph.adjacency)
         return logits, {"best_epoch": history.best_epoch}

@@ -17,6 +17,8 @@ Examples
 
     python -m repro datasets
     python -m repro run --method fairwos --dataset nba --seed 0
+    python -m repro run --method vanilla --dataset scalefree --nodes 100000 \\
+        --backbone sage --minibatch --fanout 10,5 --batch-size 512
     python -m repro audit --dataset occupation
     python -m repro table2 --datasets nba bail --backbones gcn --scale smoke
 """
@@ -66,10 +68,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="train one method on one dataset")
     run_parser.add_argument("--method", choices=available_methods(), default="fairwos")
-    run_parser.add_argument("--dataset", choices=available_datasets(), default="nba")
+    run_parser.add_argument(
+        "--dataset",
+        choices=available_datasets() + ["scalefree"],
+        default="nba",
+        help="benchmark dataset, or 'scalefree' for a generated large graph",
+    )
     run_parser.add_argument("--backbone", default="gcn")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--epochs", type=int, default=150)
+    run_parser.add_argument(
+        "--minibatch",
+        action="store_true",
+        help="train with neighbour-sampled minibatches (large graphs)",
+    )
+    run_parser.add_argument(
+        "--fanout",
+        type=_parse_fanouts,
+        default=None,
+        metavar="F1,F2,...",
+        help="per-layer neighbour fanouts, e.g. '10,5' (sets backbone depth)",
+    )
+    run_parser.add_argument("--batch-size", type=int, default=512)
+    run_parser.add_argument(
+        "--nodes",
+        type=int,
+        default=20_000,
+        help="node count for --dataset scalefree",
+    )
 
     audit_parser = sub.add_parser("audit", help="bias audit of a dataset")
     audit_parser.add_argument("--dataset", choices=available_datasets(), default="nba")
@@ -95,14 +121,50 @@ def _cmd_datasets() -> str:
     return "\n".join(lines)
 
 
+def _parse_fanouts(text: str) -> tuple[int, ...]:
+    """Parse a comma-separated fanout list like ``10,5``."""
+    try:
+        fanouts = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(
+            f"fanouts must be comma-separated integers, got {text!r}"
+        ) from err
+    if not fanouts or any(fanout < 1 for fanout in fanouts):
+        raise argparse.ArgumentTypeError(
+            f"fanouts must be positive integers, got {text!r}"
+        )
+    return fanouts
+
+
 def _cmd_run(args) -> str:
-    graph = load_dataset(args.dataset, seed=args.seed)
+    if args.dataset == "scalefree":
+        from repro.datasets import generate_scale_free_graph
+
+        graph = generate_scale_free_graph(args.nodes, seed=args.seed).standardized()
+    else:
+        graph = load_dataset(args.dataset, seed=args.seed)
     result = run_method(
-        args.method, graph, backbone=args.backbone, seed=args.seed, epochs=args.epochs
+        args.method,
+        graph,
+        backbone=args.backbone,
+        seed=args.seed,
+        epochs=args.epochs,
+        minibatch=args.minibatch,
+        fanouts=args.fanout,
+        batch_size=args.batch_size,
     )
+    mode = ""
+    if args.minibatch:
+        from repro.training import DEFAULT_FANOUT
+
+        fanouts = args.fanout or (DEFAULT_FANOUT,)
+        mode = (
+            f", minibatch fanout={','.join(map(str, fanouts))} "
+            f"batch={args.batch_size}"
+        )
     return (
-        f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}):\n"
-        f"  {result.test}\n  trained in {result.seconds:.1f}s"
+        f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}"
+        f"{mode}):\n  {result.test}\n  trained in {result.seconds:.1f}s"
     )
 
 

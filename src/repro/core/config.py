@@ -25,6 +25,13 @@ class FairwosConfig:
     Ablation flags map to the Fig. 4 variants: ``use_encoder=False`` is
     "Fwos w/o E", ``use_fairness=False`` is "Fwos w/o F" and
     ``use_weight_update=False`` is "Fwos w/o W".
+
+    ``minibatch=True`` switches the encoder and classifier pre-training
+    phases (and every inference pass) to the neighbour-sampled engine of
+    :mod:`repro.training.minibatch`, bounding memory by ``batch_size`` and
+    ``fanouts`` instead of the graph size.  ``fanouts`` has one entry per
+    backbone layer (default: 10 per layer); the fairness fine-tuning phase
+    stays full-batch because the counterfactual search is global.
     """
 
     backbone: str = "gcn"
@@ -50,6 +57,9 @@ class FairwosConfig:
     use_fairness: bool = True
     use_weight_update: bool = True
     max_pseudo_attributes: int | None = None
+    minibatch: bool = False
+    fanouts: tuple[int, ...] | None = None
+    batch_size: int = 512
 
     def validate(self) -> None:
         """Raise ``ValueError`` for inconsistent settings."""
@@ -70,3 +80,23 @@ class FairwosConfig:
             raise ValueError("refresh_counterfactuals_every must be >= 1")
         if self.max_pseudo_attributes is not None and self.max_pseudo_attributes < 1:
             raise ValueError("max_pseudo_attributes must be >= 1 or None")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.fanouts is not None:
+            if len(self.fanouts) == 0:
+                raise ValueError("fanouts must be non-empty or None")
+            if any(f is not None and f < 1 for f in self.fanouts):
+                raise ValueError(f"fanouts entries must be >= 1, got {self.fanouts}")
+            if len(self.fanouts) != self.num_layers:
+                raise ValueError(
+                    f"fanouts has {len(self.fanouts)} entries but the backbone "
+                    f"has {self.num_layers} layers"
+                )
+
+    def resolved_fanouts(self) -> tuple[int, ...]:
+        """Per-layer fanouts for minibatch phases (engine default per layer)."""
+        from repro.training.minibatch import DEFAULT_FANOUT
+
+        if self.fanouts is not None:
+            return tuple(self.fanouts)
+        return (DEFAULT_FANOUT,) * self.num_layers

@@ -33,7 +33,12 @@ from repro.graph import Graph
 from repro.nn import binary_cross_entropy_with_logits
 from repro.optim import Adam
 from repro.tensor import Tensor, no_grad
-from repro.training import fit_binary_classifier, predict_logits
+from repro.training import (
+    fit_binary_classifier,
+    fit_minibatch,
+    predict_logits,
+    predict_logits_batched,
+)
 
 __all__ = ["FairwosTrainer", "FairwosResult"]
 
@@ -113,6 +118,10 @@ class FairwosTrainer:
                 epochs=config.encoder_epochs,
                 lr=config.learning_rate,
                 patience=config.patience,
+                minibatch=config.minibatch,
+                fanout=config.resolved_fanouts()[0],
+                batch_size=config.batch_size,
+                rng=rng,
             )
             pseudo_raw = self.encoder.extract(features, adjacency)
         else:
@@ -142,21 +151,38 @@ class FairwosTrainer:
         )
         pseudo_tensor = Tensor(pseudo)
         self._pseudo_features = pseudo_tensor
-        fit_binary_classifier(
-            self.classifier,
-            pseudo_tensor,
-            adjacency,
-            labels,
-            graph.train_mask,
-            graph.val_mask,
-            epochs=config.classifier_epochs,
-            lr=config.learning_rate,
-            weight_decay=config.weight_decay,
-            patience=config.patience,
-        )
+        if config.minibatch:
+            fit_minibatch(
+                self.classifier,
+                pseudo_tensor,
+                adjacency,
+                labels,
+                graph.train_mask,
+                graph.val_mask,
+                epochs=config.classifier_epochs,
+                fanouts=config.resolved_fanouts(),
+                batch_size=config.batch_size,
+                lr=config.learning_rate,
+                weight_decay=config.weight_decay,
+                patience=config.patience,
+                rng=rng,
+            )
+        else:
+            fit_binary_classifier(
+                self.classifier,
+                pseudo_tensor,
+                adjacency,
+                labels,
+                graph.train_mask,
+                graph.val_mask,
+                epochs=config.classifier_epochs,
+                lr=config.learning_rate,
+                weight_decay=config.weight_decay,
+                patience=config.patience,
+            )
         # Pseudo-labels: ground truth on the labelled (train) nodes, model
         # predictions elsewhere (Section III-D).
-        logits = predict_logits(self.classifier, pseudo_tensor, adjacency)
+        logits = self._predict_logits(pseudo_tensor, adjacency)
         pseudo_labels = (logits > 0).astype(np.int64)
         pseudo_labels[graph.train_mask] = labels[graph.train_mask]
         timings["classifier_pretrain"] = time.perf_counter() - start
@@ -175,7 +201,7 @@ class FairwosTrainer:
             )
         timings["finetune"] = time.perf_counter() - start
 
-        test_logits = predict_logits(self.classifier, pseudo_tensor, adjacency)
+        test_logits = self._predict_logits(pseudo_tensor, adjacency)
         return FairwosResult(
             test=evaluate_predictions(
                 test_logits, labels, graph.sensitive, graph.test_mask
@@ -268,11 +294,22 @@ class FairwosTrainer:
         return coverage
 
     # ------------------------------------------------------------------ #
+    def _predict_logits(self, pseudo_tensor: Tensor, adjacency) -> np.ndarray:
+        """Full-graph logits, batched when the config asks for minibatching."""
+        if self.config.minibatch:
+            return predict_logits_batched(
+                self.classifier,
+                pseudo_tensor,
+                adjacency,
+                batch_size=self.config.batch_size,
+            )
+        return predict_logits(self.classifier, pseudo_tensor, adjacency)
+
     def predict(self, graph: Graph) -> np.ndarray:
         """Logits of the fitted model on ``graph`` (requires ``fit`` first)."""
         if self.classifier is None or self._pseudo_features is None:
             raise RuntimeError("call fit() before predict()")
-        return predict_logits(self.classifier, self._pseudo_features, graph.adjacency)
+        return self._predict_logits(self._pseudo_features, graph.adjacency)
 
 
 def _standardize(matrix: np.ndarray) -> np.ndarray:

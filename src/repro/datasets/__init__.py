@@ -21,12 +21,14 @@ from repro.datasets.registry import (
     dataset_statistics_rows,
     load_dataset,
 )
+from repro.datasets.scalefree import generate_scale_free_graph
 from repro.datasets.splits import random_split_masks
 from repro.datasets.tabular import graph_from_table, knn_adjacency
 
 __all__ = [
     "BiasSpec",
     "generate_biased_graph",
+    "generate_scale_free_graph",
     "DatasetSpec",
     "DATASET_SPECS",
     "available_datasets",

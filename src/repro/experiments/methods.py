@@ -71,6 +71,9 @@ def run_method(
     finetune_epochs: int = 15,
     patience: int | None = 30,
     fairwos_config: FairwosConfig | None = None,
+    minibatch: bool = False,
+    fanouts: tuple[int, ...] | None = None,
+    batch_size: int = 512,
 ) -> MethodResult:
     """Train one method and return its evaluation.
 
@@ -89,6 +92,10 @@ def run_method(
     fairwos_config:
         Full config override for the Fairwos run; when None the per-dataset
         entry of :data:`FAIRWOS_OVERRIDES` is applied.
+    minibatch, fanouts, batch_size:
+        Neighbour-sampled training (large graphs).  Supported by "vanilla"
+        and "fairwos"; with ``fanouts`` set, the backbone depth follows its
+        length.  Other baselines reject ``minibatch=True``.
     """
     key = method.lower()
     baseline_classes = {
@@ -99,13 +106,29 @@ def run_method(
         "fairgkd": FairGKD,
     }
     if key in baseline_classes:
-        runner = baseline_classes[key](
-            backbone=backbone, epochs=epochs, patience=patience
-        )
+        kwargs = dict(backbone=backbone, epochs=epochs, patience=patience)
+        if key == "vanilla":
+            kwargs.update(
+                minibatch=minibatch,
+                fanouts=fanouts,
+                batch_size=batch_size,
+                num_layers=len(fanouts) if fanouts else 1,
+            )
+        elif minibatch:
+            raise ValueError(
+                f"minibatch training is wired for 'vanilla' and 'fairwos', "
+                f"not {method!r}"
+            )
+        runner = baseline_classes[key](**kwargs)
         return runner.fit(graph, seed=seed)
     if key != "fairwos":
         raise ValueError(f"unknown method {method!r}; choose from {METHOD_ORDER}")
 
+    if fairwos_config is not None and minibatch:
+        raise ValueError(
+            "pass minibatch settings inside fairwos_config (minibatch/fanouts/"
+            "batch_size fields) when supplying an explicit config"
+        )
     if fairwos_config is None:
         overrides = FAIRWOS_OVERRIDES.get(graph.name, FAIRWOS_OVERRIDES["default"])
         fairwos_config = FairwosConfig(
@@ -114,6 +137,10 @@ def run_method(
             classifier_epochs=epochs,
             finetune_epochs=finetune_epochs,
             patience=patience,
+            minibatch=minibatch,
+            fanouts=fanouts,
+            batch_size=batch_size,
+            num_layers=len(fanouts) if fanouts else 1,
             **overrides,
         )
     start = time.perf_counter()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.graph.sampling import Block, is_block_sequence
 from repro.nn import Linear, Module
 from repro.tensor import Tensor
 
@@ -14,15 +15,19 @@ __all__ = ["GNNBackbone", "make_backbone"]
 class GNNBackbone(Module):
     """Base class: conv stack → representation ``h`` → linear head → logit.
 
-    Subclasses implement :meth:`embed`; the classification head (Eq. 9,
-    ``ŷ_v = σ(h_v · w)``) lives here so every backbone exposes identical
-    logits semantics.  Normalised adjacencies are cached per input matrix
-    (graphs are static within an experiment) keyed by object identity.
+    Subclasses implement :meth:`embed` (full-batch, square adjacency) and
+    :meth:`embed_blocks` (minibatch, one sampled bipartite
+    :class:`~repro.graph.sampling.Block` per layer); the classification head
+    (Eq. 9, ``ŷ_v = σ(h_v · w)``) lives here so every backbone exposes
+    identical logits semantics.  Normalised adjacencies are cached per input
+    matrix (graphs are static within an experiment) keyed by object identity;
+    blocks are ephemeral and never cached.
     """
 
     def __init__(self, hidden_dim: int, rng: np.random.Generator) -> None:
         super().__init__()
         self.hidden_dim = hidden_dim
+        self.num_layers = 1  # overwritten by subclasses
         self.head = Linear(hidden_dim, 1, rng)
         self._prop_cache: dict[int, sp.csr_matrix] = {}
 
@@ -31,15 +36,43 @@ class GNNBackbone(Module):
         """Return node representations ``h`` of shape ``(N, hidden_dim)``."""
         raise NotImplementedError
 
+    def embed_blocks(self, features: Tensor, blocks: list[Block]) -> Tensor:
+        """Minibatch :meth:`embed` over sampled blocks, input layer first.
+
+        ``features`` holds the gathered input rows of ``blocks[0].src_nodes``;
+        the result has one row per ``blocks[-1].dst_nodes`` seed.
+        """
+        raise NotImplementedError
+
     def _propagation_matrix(self, adjacency: sp.spmatrix) -> sp.csr_matrix:
         """Backbone-specific message-passing operator for a raw adjacency."""
         raise NotImplementedError
 
     # -- shared ----------------------------------------------------------- #
-    def forward(self, features: Tensor, adjacency: sp.spmatrix) -> Tensor:
-        """Binary classification logits of shape ``(N,)``."""
-        h = self.embed(features, adjacency)
+    def forward(self, features: Tensor, adjacency) -> Tensor:
+        """Binary classification logits, ``(N,)`` full-batch or ``(B,)``
+        when ``adjacency`` is a list of sampled blocks."""
+        if is_block_sequence(adjacency):
+            h = self.embed_blocks(features, list(adjacency))
+        else:
+            h = self.embed(features, adjacency)
         return self.head(h).reshape(-1)
+
+    def _check_blocks(self, features: Tensor, blocks: list[Block]) -> None:
+        """Validate the block chain against this model's layer stack."""
+        if len(blocks) != self.num_layers:
+            raise ValueError(
+                f"{type(self).__name__} has {self.num_layers} layers but got "
+                f"{len(blocks)} blocks"
+            )
+        if features.shape[0] != blocks[0].num_src:
+            raise ValueError(
+                f"features have {features.shape[0]} rows but the input block "
+                f"expects {blocks[0].num_src}"
+            )
+        for earlier, later in zip(blocks[:-1], blocks[1:]):
+            if not np.array_equal(earlier.dst_nodes, later.src_nodes):
+                raise ValueError("block chain broken: dst/src node mismatch")
 
     def _cached_propagation(self, adjacency: sp.spmatrix) -> sp.csr_matrix:
         key = id(adjacency)

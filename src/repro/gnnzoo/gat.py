@@ -11,6 +11,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.normalize import add_self_loops
+from repro.graph.sampling import Block
 from repro.gnnzoo.base import GNNBackbone
 from repro.nn import Dropout, Linear, ModuleList, Parameter, init
 from repro.tensor import Tensor
@@ -44,6 +45,7 @@ class GAT(GNNBackbone):
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {num_layers}")
         dims = [in_dim] + [hidden_dim] * num_layers
+        self.num_layers = num_layers
         self.linears = ModuleList([])
         self._attn_params: list[_GATLayer] = []
         self.attn_src_params: list[Parameter] = []
@@ -71,6 +73,41 @@ class GAT(GNNBackbone):
             self._edge_cache[key] = cached
         return cached
 
+    def _attention_layer(
+        self,
+        wh: Tensor,
+        attn_src,
+        attn_dst,
+        src: np.ndarray,
+        dst: np.ndarray,
+        num_dst: int,
+    ) -> Tensor:
+        """One attention pass over edges ``src → dst`` (scatter over num_dst).
+
+        ``wh`` holds the projected representations of every node either
+        endpoint index refers to; destination indices must also be valid rows
+        of ``wh`` (in block mode the destinations are the ``wh`` prefix).
+        """
+        score_src = ops.matmul(wh, attn_src).reshape(-1)
+        score_dst = ops.matmul(wh, attn_dst).reshape(-1)
+        edge_score = ops.leaky_relu(
+            ops.add(ops.gather(score_src, src), ops.gather(score_dst, dst)),
+            self.negative_slope,
+        )
+        # Segment softmax over incoming edges of each destination node.
+        # Subtracting the per-destination max (a constant w.r.t. autodiff,
+        # like the max-shift in ordinary softmax) keeps exp() bounded.
+        shift = np.full(num_dst, -np.inf)
+        np.maximum.at(shift, dst, edge_score.data)
+        shift[~np.isfinite(shift)] = 0.0
+        exp_score = ops.exp(ops.sub(edge_score, Tensor(shift[dst])))
+        denom = ops.scatter_add(exp_score.reshape(-1, 1), dst, num_dst)
+        alpha = ops.div(
+            exp_score, ops.add(ops.gather(denom.reshape(-1), dst), 1e-16)
+        )
+        messages = ops.mul(ops.gather(wh, src), alpha.reshape(-1, 1))
+        return ops.relu(ops.scatter_add(messages, dst, num_dst))
+
     def embed(self, features: Tensor, adjacency: sp.spmatrix) -> Tensor:
         src, dst = self._edges(adjacency)
         num_nodes = features.shape[0]
@@ -81,23 +118,27 @@ class GAT(GNNBackbone):
             if self.dropout is not None:
                 h = self.dropout(h)
             wh = linear(h)
-            score_src = ops.matmul(wh, attn_src).reshape(-1)
-            score_dst = ops.matmul(wh, attn_dst).reshape(-1)
-            edge_score = ops.leaky_relu(
-                ops.add(ops.gather(score_src, src), ops.gather(score_dst, dst)),
-                self.negative_slope,
+            h = self._attention_layer(wh, attn_src, attn_dst, src, dst, num_nodes)
+        return h
+
+    def embed_blocks(self, features: Tensor, blocks: list[Block]) -> Tensor:
+        self._check_blocks(features, blocks)
+        h = features
+        for linear, attn_src, attn_dst, block in zip(
+            self.linears, self.attn_src_params, self.attn_dst_params, blocks
+        ):
+            if self.dropout is not None:
+                h = self.dropout(h)
+            wh = linear(h)
+            # Block edges flow column (source) → row (destination); append
+            # one self-loop per destination (its source index is the shared
+            # dst/src prefix).  Multiplicities from with-replacement sampling
+            # are intentionally ignored — attention re-weights edges anyway.
+            coo = block.adjacency.tocoo()
+            eye = np.arange(block.num_dst)
+            src = np.concatenate([coo.col.astype(np.int64), eye])
+            dst = np.concatenate([coo.row.astype(np.int64), eye])
+            h = self._attention_layer(
+                wh, attn_src, attn_dst, src, dst, block.num_dst
             )
-            # Segment softmax over incoming edges of each destination node.
-            # Subtracting the per-destination max (a constant w.r.t. autodiff,
-            # like the max-shift in ordinary softmax) keeps exp() bounded.
-            shift = np.full(num_nodes, -np.inf)
-            np.maximum.at(shift, dst, edge_score.data)
-            shift[~np.isfinite(shift)] = 0.0
-            exp_score = ops.exp(ops.sub(edge_score, Tensor(shift[dst])))
-            denom = ops.scatter_add(exp_score.reshape(-1, 1), dst, num_nodes)
-            alpha = ops.div(
-                exp_score, ops.add(ops.gather(denom.reshape(-1), dst), 1e-16)
-            )
-            messages = ops.mul(ops.gather(wh, src), alpha.reshape(-1, 1))
-            h = ops.relu(ops.scatter_add(messages, dst, num_nodes))
         return h

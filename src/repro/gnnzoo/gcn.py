@@ -6,6 +6,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.normalize import gcn_normalize
+from repro.graph.sampling import Block, block_gcn_matrix
 from repro.gnnzoo.base import GNNBackbone
 from repro.nn import Dropout, Linear, ModuleList
 from repro.tensor import Tensor
@@ -33,6 +34,7 @@ class GCN(GNNBackbone):
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {num_layers}")
         dims = [in_dim] + [hidden_dim] * num_layers
+        self.num_layers = num_layers
         self.layers = ModuleList(
             [Linear(dims[i], dims[i + 1], rng) for i in range(num_layers)]
         )
@@ -48,4 +50,13 @@ class GCN(GNNBackbone):
             if self.dropout is not None:
                 h = self.dropout(h)
             h = ops.relu(layer(ops.spmm(a_hat, h)))
+        return h
+
+    def embed_blocks(self, features: Tensor, blocks: list[Block]) -> Tensor:
+        self._check_blocks(features, blocks)
+        h = features
+        for layer, block in zip(self.layers, blocks):
+            if self.dropout is not None:
+                h = self.dropout(h)
+            h = ops.relu(layer(ops.spmm(block_gcn_matrix(block), h)))
         return h

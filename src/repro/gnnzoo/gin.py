@@ -7,6 +7,7 @@ import scipy.sparse as sp
 
 from repro.gnnzoo.base import GNNBackbone
 from repro.graph.normalize import to_symmetric
+from repro.graph.sampling import Block, block_sum_matrix
 from repro.nn import MLP, Dropout, ModuleList, Parameter
 from repro.tensor import Tensor
 from repro.tensor import ops
@@ -33,6 +34,7 @@ class GIN(GNNBackbone):
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {num_layers}")
         dims = [in_dim] + [hidden_dim] * num_layers
+        self.num_layers = num_layers
         self.mlps = ModuleList(
             [
                 MLP([dims[i], hidden_dim, dims[i + 1]], rng)
@@ -53,5 +55,17 @@ class GIN(GNNBackbone):
                 h = self.dropout(h)
             self_term = ops.mul(h, ops.add(1.0, eps))
             neighbor_term = ops.spmm(matrix, h)
+            h = ops.relu(mlp(ops.add(self_term, neighbor_term)))
+        return h
+
+    def embed_blocks(self, features: Tensor, blocks: list[Block]) -> Tensor:
+        self._check_blocks(features, blocks)
+        h = features
+        for mlp, eps, block in zip(self.mlps, self.epsilons, blocks):
+            if self.dropout is not None:
+                h = self.dropout(h)
+            h_dst = ops.index(h, slice(0, block.num_dst))
+            self_term = ops.mul(h_dst, ops.add(1.0, eps))
+            neighbor_term = ops.spmm(block_sum_matrix(block), h)
             h = ops.relu(mlp(ops.add(self_term, neighbor_term)))
         return h

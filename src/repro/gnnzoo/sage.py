@@ -6,6 +6,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.graph.normalize import row_normalize
+from repro.graph.sampling import Block, block_mean_matrix
 from repro.gnnzoo.base import GNNBackbone
 from repro.nn import Dropout, Linear, ModuleList
 from repro.tensor import Tensor
@@ -29,6 +30,7 @@ class GraphSAGE(GNNBackbone):
         if num_layers < 1:
             raise ValueError(f"num_layers must be >= 1, got {num_layers}")
         dims = [in_dim] + [hidden_dim] * num_layers
+        self.num_layers = num_layers
         self.self_layers = ModuleList(
             [Linear(dims[i], dims[i + 1], rng) for i in range(num_layers)]
         )
@@ -48,5 +50,22 @@ class GraphSAGE(GNNBackbone):
                 h = self.dropout(h)
             h = ops.relu(
                 ops.add(self_layer(h), neighbor_layer(ops.spmm(mean_op, h)))
+            )
+        return h
+
+    def embed_blocks(self, features: Tensor, blocks: list[Block]) -> Tensor:
+        self._check_blocks(features, blocks)
+        h = features
+        for self_layer, neighbor_layer, block in zip(
+            self.self_layers, self.neighbor_layers, blocks
+        ):
+            if self.dropout is not None:
+                h = self.dropout(h)
+            h_dst = ops.index(h, slice(0, block.num_dst))
+            h = ops.relu(
+                ops.add(
+                    self_layer(h_dst),
+                    neighbor_layer(ops.spmm(block_mean_matrix(block), h)),
+                )
             )
         return h

@@ -7,7 +7,17 @@ from repro.graph.normalize import (
     row_normalize,
     to_symmetric,
 )
-from repro.graph.sampling import random_walks, sample_neighbors, subsample_edges
+from repro.graph.sampling import (
+    Block,
+    NeighborSampler,
+    block_gcn_matrix,
+    block_mean_matrix,
+    block_sum_matrix,
+    is_block_sequence,
+    random_walks,
+    sample_neighbors,
+    subsample_edges,
+)
 from repro.graph.utils import (
     edge_homophily,
     k_hop_neighbors,
@@ -18,6 +28,12 @@ from repro.graph.utils import (
 
 __all__ = [
     "Graph",
+    "Block",
+    "NeighborSampler",
+    "block_gcn_matrix",
+    "block_mean_matrix",
+    "block_sum_matrix",
+    "is_block_sequence",
     "add_self_loops",
     "gcn_normalize",
     "row_normalize",

@@ -1,5 +1,24 @@
-"""Shared supervised-training loop used by Fairwos and every baseline."""
+"""Shared supervised-training loops used by Fairwos and every baseline.
+
+``fit_binary_classifier`` is the paper's full-batch recipe;
+``fit_minibatch`` is the neighbour-sampled large-graph equivalent with the
+same early-stopping / best-model contract.
+"""
 
 from repro.training.loop import FitHistory, fit_binary_classifier, predict_logits
+from repro.training.minibatch import (
+    DEFAULT_FANOUT,
+    fit_minibatch,
+    iter_minibatches,
+    predict_logits_batched,
+)
 
-__all__ = ["FitHistory", "fit_binary_classifier", "predict_logits"]
+__all__ = [
+    "DEFAULT_FANOUT",
+    "FitHistory",
+    "fit_binary_classifier",
+    "predict_logits",
+    "fit_minibatch",
+    "iter_minibatches",
+    "predict_logits_batched",
+]

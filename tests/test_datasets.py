@@ -109,6 +109,7 @@ class TestGenerator:
         assert (adj != adj.T).nnz == 0
         assert adj.diagonal().sum() == 0.0
 
+    @pytest.mark.slow
     def test_label_bias_increases_base_rate_gap(self):
         gaps = []
         for bias in (0.0, 1.5):
@@ -135,6 +136,7 @@ class TestGenerator:
             values.append(edge_homophily(graph.adjacency, graph.sensitive))
         assert values[1] > values[0] + 0.1
 
+    @pytest.mark.slow
     def test_group_balance(self):
         spec = BiasSpec(group_balance=0.2)
         graph = generate_biased_graph(4000, 6, 6.0, spec, seed=7)

@@ -60,6 +60,7 @@ class TestMethodRegistry:
             run_method("mystery", small_graph)
 
 
+@pytest.mark.slow
 class TestTable1:
     def test_rows_and_formatting(self):
         rows = run_table1(seed=0)

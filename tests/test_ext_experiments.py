@@ -15,6 +15,7 @@ from repro.experiments import (
 SMOKE = Scale.smoke()
 
 
+@pytest.mark.slow
 class TestBackboneSweep:
     def test_two_backbones(self):
         result = run_ext_backbones(dataset="nba", backbones=["gcn", "sage"], scale=SMOKE)

@@ -71,6 +71,7 @@ class TestFairGNN:
         result = FairGNN(adversary_steps=2, **FAST).fit(small_graph, seed=0)
         assert 0.0 <= result.test.accuracy <= 1.0
 
+    @pytest.mark.slow
     def test_adversarial_training_reduces_bias_on_nba(self):
         from repro.datasets import load_dataset
 
