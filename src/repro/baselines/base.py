@@ -9,6 +9,12 @@ import numpy as np
 
 from repro.fairness import EvalResult, evaluate_predictions
 from repro.graph import Graph
+from repro.training import (
+    fit_binary_classifier,
+    fit_minibatch,
+    predict_logits,
+    predict_logits_batched,
+)
 
 __all__ = ["MethodResult", "BaselineMethod"]
 
@@ -81,3 +87,50 @@ class BaselineMethod:
     ) -> tuple[np.ndarray, dict]:
         """Train and return full-graph logits plus diagnostics."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def _fit_and_predict(
+        self, model, features, graph: Graph, rng: np.random.Generator
+    ):
+        """Shared full-batch / minibatch dispatch for plain supervised
+        baselines.
+
+        Subclasses that support neighbour-sampled training (Vanilla,
+        RemoveR) set ``minibatch`` / ``fanouts`` / ``batch_size`` in their
+        constructors; training then runs through
+        :func:`~repro.training.fit_minibatch` and evaluation through exact
+        batched inference, so reported metrics are sampling-free.  Returns
+        ``(history, logits)``.
+        """
+        if getattr(self, "minibatch", False):
+            history = fit_minibatch(
+                model,
+                features,
+                graph.adjacency,
+                graph.labels,
+                graph.train_mask,
+                graph.val_mask,
+                epochs=self.epochs,
+                fanouts=self.fanouts,
+                batch_size=self.batch_size,
+                lr=self.lr,
+                patience=self.patience,
+                rng=rng,
+            )
+            logits = predict_logits_batched(
+                model, features, graph.adjacency, batch_size=self.batch_size
+            )
+        else:
+            history = fit_binary_classifier(
+                model,
+                features,
+                graph.adjacency,
+                graph.labels,
+                graph.train_mask,
+                graph.val_mask,
+                epochs=self.epochs,
+                lr=self.lr,
+                patience=self.patience,
+            )
+            logits = predict_logits(model, features, graph.adjacency)
+        return history, logits

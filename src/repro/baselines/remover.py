@@ -15,15 +15,32 @@ from repro.baselines.base import BaselineMethod
 from repro.graph import Graph
 from repro.gnnzoo import make_backbone
 from repro.tensor import Tensor
-from repro.training import fit_binary_classifier, predict_logits
 
 __all__ = ["RemoveR"]
 
 
 class RemoveR(BaselineMethod):
-    """Pre-processing baseline: train on the graph minus proxy columns."""
+    """Pre-processing baseline: train on the graph minus proxy columns.
+
+    ``minibatch=True`` trains on the reduced graph with neighbour-sampled
+    batches (:func:`repro.training.fit_minibatch`) — column removal is a
+    pre-processing step, so it composes with sampled training exactly like
+    Vanilla; evaluation uses exact batched inference.
+    """
 
     name = "RemoveR"
+
+    def __init__(
+        self,
+        minibatch: bool = False,
+        fanouts: tuple[int, ...] | None = None,
+        batch_size: int = 512,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        self.minibatch = minibatch
+        self.fanouts = fanouts
+        self.batch_size = batch_size
 
     def _train_logits(self, graph: Graph, rng: np.random.Generator):
         if graph.related_feature_indices.size == 0:
@@ -38,17 +55,7 @@ class RemoveR(BaselineMethod):
             self.backbone, reduced.num_features, self.hidden_dim, rng,
             num_layers=self.num_layers,
         )
-        features = Tensor(reduced.features)
-        fit_binary_classifier(
-            model,
-            features,
-            reduced.adjacency,
-            reduced.labels,
-            reduced.train_mask,
-            reduced.val_mask,
-            epochs=self.epochs,
-            lr=self.lr,
-            patience=self.patience,
+        _, logits = self._fit_and_predict(
+            model, Tensor(reduced.features), reduced, rng
         )
-        logits = predict_logits(model, features, reduced.adjacency)
         return logits, {"removed_columns": int(graph.related_feature_indices.size)}

@@ -8,12 +8,6 @@ from repro.baselines.base import BaselineMethod
 from repro.graph import Graph
 from repro.gnnzoo import make_backbone
 from repro.tensor import Tensor
-from repro.training import (
-    fit_binary_classifier,
-    fit_minibatch,
-    predict_logits,
-    predict_logits_batched,
-)
 
 __all__ = ["Vanilla"]
 
@@ -46,36 +40,7 @@ class Vanilla(BaselineMethod):
             self.backbone, graph.num_features, self.hidden_dim, rng,
             num_layers=self.num_layers,
         )
-        features = Tensor(graph.features)
-        if self.minibatch:
-            history = fit_minibatch(
-                model,
-                features,
-                graph.adjacency,
-                graph.labels,
-                graph.train_mask,
-                graph.val_mask,
-                epochs=self.epochs,
-                fanouts=self.fanouts,
-                batch_size=self.batch_size,
-                lr=self.lr,
-                patience=self.patience,
-                rng=rng,
-            )
-            logits = predict_logits_batched(
-                model, features, graph.adjacency, batch_size=self.batch_size
-            )
-        else:
-            history = fit_binary_classifier(
-                model,
-                features,
-                graph.adjacency,
-                graph.labels,
-                graph.train_mask,
-                graph.val_mask,
-                epochs=self.epochs,
-                lr=self.lr,
-                patience=self.patience,
-            )
-            logits = predict_logits(model, features, graph.adjacency)
+        history, logits = self._fit_and_predict(
+            model, Tensor(graph.features), graph, rng
+        )
         return logits, {"best_epoch": history.best_epoch}

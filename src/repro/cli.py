@@ -19,8 +19,13 @@ Examples
     python -m repro run --method fairwos --dataset nba --seed 0
     python -m repro run --method vanilla --dataset scalefree --nodes 100000 \\
         --backbone sage --minibatch --fanout 10,5 --batch-size 512
+    repro --method fairwos --dataset scalefree --nodes 50000 \\
+        --minibatch --cf-backend ann
     python -m repro audit --dataset occupation
     python -m repro table2 --datasets nba bail --backbones gcn --scale smoke
+
+An invocation whose first argument is an option (as in the third example)
+defaults to the ``run`` subcommand.
 """
 
 from __future__ import annotations
@@ -96,6 +101,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=20_000,
         help="node count for --dataset scalefree",
     )
+    run_parser.add_argument(
+        "--cf-backend",
+        choices=("exact", "ann"),
+        default="exact",
+        help="fairwos counterfactual search backend "
+        "(ann = random-projection forest for large graphs)",
+    )
+    run_parser.add_argument(
+        "--cf-refresh",
+        type=int,
+        default=None,
+        metavar="R",
+        help="rebuild the counterfactual index every R fine-tune epochs",
+    )
 
     audit_parser = sub.add_parser("audit", help="bias audit of a dataset")
     audit_parser.add_argument("--dataset", choices=available_datasets(), default="nba")
@@ -152,6 +171,8 @@ def _cmd_run(args) -> str:
         minibatch=args.minibatch,
         fanouts=args.fanout,
         batch_size=args.batch_size,
+        cf_backend=args.cf_backend,
+        cf_refresh_epochs=args.cf_refresh,
     )
     mode = ""
     if args.minibatch:
@@ -162,6 +183,8 @@ def _cmd_run(args) -> str:
             f", minibatch fanout={','.join(map(str, fanouts))} "
             f"batch={args.batch_size}"
         )
+    if args.method == "fairwos" and args.cf_backend != "exact":
+        mode += f", cf-backend={args.cf_backend}"
     return (
         f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}"
         f"{mode}):\n  {result.test}\n  trained in {result.seconds:.1f}s"
@@ -190,6 +213,11 @@ def _cmd_audit(args) -> str:
 
 def main(argv: list[str] | None = None) -> str:
     """Entry point; returns the rendered output (also printed)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        # `repro --method fairwos ...` is shorthand for `repro run ...`.
+        argv = ["run", *argv]
     args = build_parser().parse_args(argv)
     scale = _SCALES[getattr(args, "scale", "quick")]() if hasattr(args, "scale") else None
 

@@ -17,10 +17,14 @@ The five components of Fig. 2:
 :class:`FairwosTrainer` wires them together per Algorithm 1.
 """
 
+from repro.core.ann import AnnBackend, ExactBackend, RPForestIndex, exact_topk
 from repro.core.config import FairwosConfig
 from repro.core.encoder import EncoderModule, binarize_attributes
 from repro.core.counterfactual import CounterfactualSearch, CounterfactualIndex
-from repro.core.fairloss import fair_representation_loss
+from repro.core.fairloss import (
+    fair_representation_loss,
+    fair_representation_loss_minibatch,
+)
 from repro.core.weights import WeightUpdater, project_to_simplex, solve_kkt_eq24
 from repro.core.trainer import FairwosTrainer, FairwosResult
 from repro.core.cf_evaluation import (
@@ -29,12 +33,17 @@ from repro.core.cf_evaluation import (
 )
 
 __all__ = [
+    "AnnBackend",
+    "ExactBackend",
+    "RPForestIndex",
+    "exact_topk",
     "FairwosConfig",
     "EncoderModule",
     "binarize_attributes",
     "CounterfactualSearch",
     "CounterfactualIndex",
     "fair_representation_loss",
+    "fair_representation_loss_minibatch",
     "WeightUpdater",
     "project_to_simplex",
     "solve_kkt_eq24",

@@ -1,0 +1,532 @@
+"""Approximate nearest-neighbour search for the counterfactual index.
+
+The exact counterfactual search (Eq. 12) is an O(N²·I) distance scan — fine
+up to ~10k nodes, prohibitive beyond.  This module provides the pluggable
+replacement:
+
+* :func:`exact_topk` — the brute-force oracle, shared verbatim by the exact
+  backend and by exhaustive-probe ANN queries so the two are bit-identical;
+* :class:`RPForestIndex` — a numpy random-projection-tree forest with
+  ``build(X)`` / ``query(Q, k, mask=...)``.  The boolean ``mask`` restricts
+  candidates, which is exactly what the counterfactual search needs: the
+  label-consistent, opposite-attribute bucket becomes a mask over all N
+  points, so one index per refresh serves every (label, attribute, side)
+  bucket;
+* :class:`ExactBackend` / :class:`AnnBackend` — the strategy objects
+  :class:`~repro.core.counterfactual.CounterfactualSearch` dispatches to.
+
+Design notes
+------------
+Each tree splits its points on a random unit direction at the projection
+median (split by rank, so trees are exactly balanced and build is
+O(N log N) per tree).  A query descends to one leaf per tree; ``probes > 1``
+additionally flips the lowest-margin split decisions along the root path
+(multi-probe, as in Annoy/LSH multi-probe) and descends the alternative
+subtrees, trading work for recall.  Candidates from all (tree, probe)
+leaves are deduplicated and ranked by true L2 distance, with ties broken by
+ascending point id for determinism.
+
+``probes="exhaustive"`` bypasses the trees and ranks *every* masked
+candidate through :func:`exact_topk` — the property-test harness uses this
+to prove the ANN plumbing (masking, padding, cycling) exactly reproduces
+the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EXHAUSTIVE",
+    "RPForestIndex",
+    "exact_topk",
+    "ExactBackend",
+    "AnnBackend",
+    "make_backend",
+]
+
+#: Sentinel for :meth:`RPForestIndex.query`'s ``probes`` — rank every masked
+#: candidate by brute force (bit-identical to :class:`ExactBackend`).
+EXHAUSTIVE = "exhaustive"
+
+
+def exact_topk(
+    points: np.ndarray,
+    queries: np.ndarray,
+    candidate_ids: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Brute-force top-``k`` of ``candidate_ids`` for each query row.
+
+    Parameters
+    ----------
+    points:
+        ``(N, d)`` base point matrix.
+    queries:
+        ``(Q, d)`` query vectors (rows need not be base points).
+    candidate_ids:
+        Ids into ``points`` eligible as neighbours (any order; the order is
+        the tie-break when ``k`` cuts through equal distances).
+    k:
+        Neighbours requested.
+
+    Returns
+    -------
+    ``(Q, min(k, len(candidate_ids)))`` int64 array of candidate ids, each
+    row ordered by ascending squared L2 distance.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    candidate_ids = np.asarray(candidate_ids, dtype=np.int64).reshape(-1)
+    candidate_reprs = points[candidate_ids]
+    # Squared L2 distances; monotone in L2 so the ranking matches Eq. 12.
+    distances = (
+        (queries**2).sum(axis=1)[:, None]
+        - 2.0 * queries @ candidate_reprs.T
+        + (candidate_reprs**2).sum(axis=1)[None, :]
+    )
+    k_eff = min(k, candidate_ids.size)
+    if k_eff < candidate_ids.size:
+        top = np.argpartition(distances, k_eff - 1, axis=1)[:, :k_eff]
+        # Order the selected k by distance for determinism.
+        row_order = np.take_along_axis(distances, top, axis=1).argsort(axis=1)
+        top = np.take_along_axis(top, row_order, axis=1)
+    else:
+        top = distances.argsort(axis=1)
+    return candidate_ids[top]
+
+
+@dataclass
+class _Tree:
+    """One random-projection tree in array form.
+
+    ``children`` entries ``>= 0`` are internal-node indices; negative entries
+    encode leaves as ``-(leaf_id + 1)``.  ``root`` follows the same encoding
+    (a tree small enough to be a single leaf has no internal nodes).
+    """
+
+    directions: np.ndarray  # (num_internal, d)
+    thresholds: np.ndarray  # (num_internal,)
+    children: np.ndarray  # (num_internal, 2)
+    leaf_indptr: np.ndarray  # (num_leaves + 1,)
+    leaf_items: np.ndarray  # (N,)
+    root: int
+    depth: int
+    max_leaf: int
+
+
+class RPForestIndex:
+    """Random-projection-tree forest over a fixed point set.
+
+    Parameters
+    ----------
+    num_trees:
+        Independent trees; recall grows with the union of their leaves.
+    leaf_size:
+        Stop splitting below this many points.
+    probes:
+        Default leaves visited per tree per query (>= 1).  Probe ``p`` flips
+        the ``p``-th smallest-margin split decision of the original descent.
+    seed:
+        Forest construction seed; two builds with the same seed over the
+        same data are identical.
+    chunk_size:
+        Queries processed per vectorized block (bounds peak memory at
+        ``chunk_size × num_trees × probes × leaf_size × d`` floats).
+    """
+
+    def __init__(
+        self,
+        num_trees: int = 8,
+        leaf_size: int = 32,
+        probes: int = 2,
+        seed: int = 0,
+        chunk_size: int = 512,
+    ) -> None:
+        if num_trees < 1:
+            raise ValueError(f"num_trees must be >= 1, got {num_trees}")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        if probes != EXHAUSTIVE and probes < 1:
+            raise ValueError(f"probes must be >= 1 or 'exhaustive', got {probes}")
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.num_trees = num_trees
+        self.leaf_size = leaf_size
+        self.probes = probes
+        self.seed = seed
+        self.chunk_size = chunk_size
+        self._points: np.ndarray | None = None
+        self._norms: np.ndarray | None = None
+        self._trees: list[_Tree] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_points(self) -> int:
+        """Number of indexed points (0 before :meth:`build`)."""
+        return 0 if self._points is None else self._points.shape[0]
+
+    @property
+    def points(self) -> np.ndarray:
+        """The indexed point matrix (raises before :meth:`build`)."""
+        if self._points is None:
+            raise RuntimeError("call build() before reading points")
+        return self._points
+
+    def build(self, X: np.ndarray) -> "RPForestIndex":
+        """(Re)build the forest over ``X``; returns ``self``."""
+        X = np.array(X, dtype=np.float64, copy=True)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise ValueError(f"expected a non-empty (N, d) matrix, got {X.shape}")
+        self._points = X
+        self._norms = (X**2).sum(axis=1)
+        rng = np.random.default_rng(self.seed)
+        self._trees = [self._build_tree(X, rng) for _ in range(self.num_trees)]
+        return self
+
+    # ------------------------------------------------------------------ #
+    def _build_tree(self, X: np.ndarray, rng: np.random.Generator) -> _Tree:
+        n, dim = X.shape
+        directions: list[np.ndarray] = []
+        thresholds: list[float] = []
+        children: list[list[int]] = []
+        leaves: list[np.ndarray] = []
+        depth = 0
+        # Stack entries: (members, parent node, side, level).  LIFO order is
+        # deterministic, so rng consumption (one direction per split) is too.
+        stack: list[tuple[np.ndarray, int, int, int]] = [
+            (np.arange(n, dtype=np.int64), -1, 0, 0)
+        ]
+        root = 0
+        while stack:
+            members, parent, side, level = stack.pop()
+            depth = max(depth, level)
+            if members.size <= self.leaf_size:
+                leaves.append(members)
+                ref = -len(leaves)  # leaf_id = len(leaves) - 1 → -(leaf_id + 1)
+            else:
+                direction = rng.normal(size=dim)
+                norm = float(np.linalg.norm(direction))
+                if norm == 0.0:  # pragma: no cover - probability zero
+                    direction[0] = 1.0
+                    norm = 1.0
+                direction /= norm
+                proj = X[members] @ direction
+                order = np.argsort(proj, kind="stable")
+                half = members.size // 2
+                threshold = 0.5 * (proj[order[half - 1]] + proj[order[half]])
+                ref = len(directions)
+                directions.append(direction)
+                thresholds.append(float(threshold))
+                children.append([0, 0])
+                stack.append((members[order[half:]], ref, 1, level + 1))
+                stack.append((members[order[:half]], ref, 0, level + 1))
+            if parent >= 0:
+                children[parent][side] = ref
+            else:
+                root = ref
+        leaf_sizes = np.array([leaf.size for leaf in leaves], dtype=np.int64)
+        return _Tree(
+            directions=(
+                np.array(directions) if directions else np.empty((0, dim))
+            ),
+            thresholds=np.array(thresholds, dtype=np.float64),
+            children=(
+                np.array(children, dtype=np.int64)
+                if children
+                else np.empty((0, 2), dtype=np.int64)
+            ),
+            leaf_indptr=np.concatenate(([0], np.cumsum(leaf_sizes))),
+            leaf_items=(
+                np.concatenate(leaves) if leaves else np.empty(0, dtype=np.int64)
+            ),
+            root=root,
+            depth=depth,
+            max_leaf=int(leaf_sizes.max()),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _greedy_descent(self, tree: _Tree, Q: np.ndarray, start: np.ndarray) -> np.ndarray:
+        """Follow splits greedily from ``start`` nodes; returns leaf ids (-1 for inactive)."""
+        cur = start.copy()
+        active = cur >= 0
+        while active.any():
+            nodes = cur[active]
+            proj = np.einsum("qd,qd->q", Q[active], tree.directions[nodes])
+            side = (proj >= tree.thresholds[nodes]).astype(np.int64)
+            cur[active] = tree.children[nodes, side]
+            active = cur >= 0
+        leaves = -(cur + 1)
+        leaves[start == _INACTIVE] = -1
+        return leaves
+
+    def _tree_leaves(self, tree: _Tree, Q: np.ndarray, probes: int) -> np.ndarray:
+        """Leaf id per (query, probe); -1 where a probe is unavailable."""
+        m = Q.shape[0]
+        out = np.full((m, probes), -1, dtype=np.int64)
+        if tree.root < 0:  # single-leaf tree
+            out[:, 0] = -(tree.root + 1)
+            return out
+        # Recorded descent: path nodes, margins and the side taken per level.
+        path_nodes = np.full((m, tree.depth), -1, dtype=np.int64)
+        margins = np.full((m, tree.depth), np.inf)
+        sides = np.zeros((m, tree.depth), dtype=np.int64)
+        cur = np.full(m, tree.root, dtype=np.int64)
+        level = 0
+        active = cur >= 0
+        while active.any():
+            nodes = cur[active]
+            proj = np.einsum("qd,qd->q", Q[active], tree.directions[nodes])
+            thr = tree.thresholds[nodes]
+            side = (proj >= thr).astype(np.int64)
+            path_nodes[active, level] = nodes
+            margins[active, level] = np.abs(proj - thr)
+            sides[active, level] = side
+            cur[active] = tree.children[nodes, side]
+            active = cur >= 0
+            level += 1
+        out[:, 0] = -(cur + 1)
+        if probes == 1:
+            return out
+        # Probe p flips the p-th smallest-margin decision of the root path
+        # and descends greedily below the flip.
+        margin_order = np.argsort(margins, axis=1, kind="stable")
+        rows = np.arange(m)
+        for probe in range(1, probes):
+            if probe - 1 >= tree.depth:
+                break
+            pos = margin_order[:, probe - 1]
+            nodes = path_nodes[rows, pos]
+            usable = nodes >= 0
+            start = np.full(m, _INACTIVE, dtype=np.int64)
+            start[usable] = tree.children[
+                nodes[usable], 1 - sides[rows[usable], pos[usable]]
+            ]
+            out[:, probe] = self._greedy_descent(tree, Q, start)
+        return out
+
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        Q: np.ndarray,
+        k: int,
+        mask: np.ndarray | None = None,
+        probes: int | str | None = None,
+    ) -> np.ndarray:
+        """Top-``k`` indexed neighbours of each query row.
+
+        Parameters
+        ----------
+        Q:
+            ``(Q, d)`` query vectors (``(d,)`` is promoted to one row).
+        k:
+            Neighbours requested per query.
+        mask:
+            Optional ``(N,)`` boolean; only points with ``mask[id]`` True may
+            be returned.  This is how the counterfactual search expresses
+            its label-consistent, opposite-attribute candidate buckets.
+        probes:
+            Override the index default; ``"exhaustive"`` ranks every masked
+            candidate by brute force (bit-identical to the exact backend).
+
+        Returns
+        -------
+        ``(Q, k)`` int64 ids into the built matrix, ordered by ascending
+        distance (ties → ascending id), right-padded with ``-1`` when fewer
+        than ``k`` candidates were found.
+        """
+        if self._points is None:
+            raise RuntimeError("call build() before query()")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        Q = np.asarray(Q, dtype=np.float64)
+        if Q.ndim == 1:
+            Q = Q[None, :]
+        if Q.ndim != 2 or Q.shape[1] != self._points.shape[1]:
+            raise ValueError(
+                f"queries must be (Q, {self._points.shape[1]}), got {Q.shape}"
+            )
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool).reshape(-1)
+            if mask.shape[0] != self.num_points:
+                raise ValueError(
+                    f"mask must have {self.num_points} entries, got {mask.shape[0]}"
+                )
+        if probes is None:
+            probes = self.probes
+        if probes == EXHAUSTIVE:
+            return self._query_exhaustive(Q, k, mask)
+        probes = int(probes)
+        if probes < 1:
+            raise ValueError(f"probes must be >= 1 or 'exhaustive', got {probes}")
+
+        out = np.full((Q.shape[0], k), -1, dtype=np.int64)
+        for start in range(0, Q.shape[0], self.chunk_size):
+            chunk = slice(start, start + self.chunk_size)
+            out[chunk] = self._query_chunk(Q[chunk], k, mask, probes)
+        return out
+
+    def _query_exhaustive(
+        self, Q: np.ndarray, k: int, mask: np.ndarray | None
+    ) -> np.ndarray:
+        candidate_ids = (
+            np.flatnonzero(mask) if mask is not None
+            else np.arange(self.num_points, dtype=np.int64)
+        )
+        out = np.full((Q.shape[0], k), -1, dtype=np.int64)
+        if candidate_ids.size == 0:
+            return out
+        found = exact_topk(self._points, Q, candidate_ids, k)
+        out[:, : found.shape[1]] = found
+        return out
+
+    def _query_chunk(
+        self, Q: np.ndarray, k: int, mask: np.ndarray | None, probes: int
+    ) -> np.ndarray:
+        m = Q.shape[0]
+        width = sum(tree.max_leaf for tree in self._trees) * probes
+        cands = np.full((m, width), -1, dtype=np.int64)
+        col = 0
+        rows_all = np.arange(m)
+        for tree in self._trees:
+            leaves = self._tree_leaves(tree, Q, probes)
+            for probe in range(probes):
+                leaf = leaves[:, probe]
+                ok = leaf >= 0
+                lengths = np.zeros(m, dtype=np.int64)
+                lengths[ok] = (
+                    tree.leaf_indptr[leaf[ok] + 1] - tree.leaf_indptr[leaf[ok]]
+                )
+                total = int(lengths.sum())
+                if total:
+                    rows = np.repeat(rows_all, lengths)
+                    row_starts = np.concatenate(([0], np.cumsum(lengths)))[:-1]
+                    within = np.arange(total) - np.repeat(row_starts, lengths)
+                    starts = np.repeat(tree.leaf_indptr[np.maximum(leaf, 0)], lengths)
+                    cands[rows, col + within] = tree.leaf_items[starts + within]
+                col += tree.max_leaf
+        # Dedupe across trees/probes: sort ids per row (pads sort first) and
+        # blank repeats so a point can enter the ranking only once.
+        cands.sort(axis=1)
+        cands[:, 1:][cands[:, 1:] == cands[:, :-1]] = -1
+
+        safe = np.maximum(cands, 0)
+        dots = np.einsum("qd,qwd->qw", Q, self._points[safe])
+        dist = (Q**2).sum(axis=1)[:, None] - 2.0 * dots + self._norms[safe]
+        invalid = cands < 0
+        if mask is not None:
+            invalid |= ~mask[safe]
+        dist[invalid] = np.inf
+        # Stable sort on distance after the ascending-id sort above breaks
+        # distance ties by ascending id — deterministic output.
+        order = np.argsort(dist, axis=1, kind="stable")[:, :k]
+        picked = np.take_along_axis(cands, order, axis=1)
+        picked[~np.isfinite(np.take_along_axis(dist, order, axis=1))] = -1
+        if picked.shape[1] < k:
+            picked = np.concatenate(
+                [picked, np.full((m, k - picked.shape[1]), -1, dtype=np.int64)],
+                axis=1,
+            )
+        return picked
+
+
+_INACTIVE = np.iinfo(np.int64).min  # "no start node" marker for greedy descent
+
+
+# --------------------------------------------------------------------- #
+# Counterfactual-search backends
+# --------------------------------------------------------------------- #
+class ExactBackend:
+    """Brute-force oracle backend (the original O(N²) scan)."""
+
+    name = "exact"
+
+    def __init__(self) -> None:
+        self._points: np.ndarray | None = None
+
+    def prepare(self, points: np.ndarray) -> None:
+        """Stash the representation matrix for this search pass."""
+        self._points = np.asarray(points, dtype=np.float64)
+
+    def topk(
+        self, query_ids: np.ndarray, candidate_ids: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Exact top-``k`` candidate ids per query node (no padding)."""
+        if self._points is None:
+            raise RuntimeError("call prepare() before topk()")
+        return exact_topk(
+            self._points, self._points[query_ids], candidate_ids, k
+        )
+
+
+class AnnBackend:
+    """Approximate backend over a :class:`RPForestIndex`.
+
+    ``exhaustive=True`` keeps the index but routes every query through
+    brute-force ranking — the bridge used to prove the ANN plumbing exact.
+    """
+
+    name = "ann"
+
+    def __init__(
+        self,
+        num_trees: int = 8,
+        leaf_size: int = 32,
+        probes: int = 2,
+        seed: int = 0,
+        chunk_size: int = 512,
+        exhaustive: bool = False,
+    ) -> None:
+        self._index = RPForestIndex(
+            num_trees=num_trees,
+            leaf_size=leaf_size,
+            probes=probes,
+            seed=seed,
+            chunk_size=chunk_size,
+        )
+        self.exhaustive = exhaustive
+
+    @property
+    def index(self) -> RPForestIndex:
+        """The underlying forest (rebuilt on every :meth:`prepare`)."""
+        return self._index
+
+    def prepare(self, points: np.ndarray) -> None:
+        """Rebuild the forest over the current representations."""
+        self._index.build(points)
+
+    def topk(
+        self, query_ids: np.ndarray, candidate_ids: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Approximate top-``k`` (``-1``-padded) candidate ids per query node."""
+        mask = np.zeros(self._index.num_points, dtype=bool)
+        mask[candidate_ids] = True
+        return self._index.query(
+            self._index.points[query_ids],
+            k,
+            mask=mask,
+            probes=EXHAUSTIVE if self.exhaustive else None,
+        )
+
+
+def make_backend(spec, **options):
+    """Resolve a backend spec: ``"exact"``, ``"ann"`` or a strategy object."""
+    if isinstance(spec, str):
+        key = spec.lower()
+        if key == "exact":
+            if options:
+                raise ValueError(
+                    f"the exact backend takes no options, got {sorted(options)}"
+                )
+            return ExactBackend()
+        if key == "ann":
+            return AnnBackend(**options)
+        raise ValueError(f"unknown backend {spec!r}; choose 'exact' or 'ann'")
+    if hasattr(spec, "prepare") and hasattr(spec, "topk"):
+        if options:
+            raise ValueError("backend options only apply to string specs")
+        return spec
+    raise TypeError(
+        f"backend must be 'exact', 'ann' or a prepare/topk object, got {spec!r}"
+    )

@@ -30,8 +30,24 @@ class FairwosConfig:
     phases (and every inference pass) to the neighbour-sampled engine of
     :mod:`repro.training.minibatch`, bounding memory by ``batch_size`` and
     ``fanouts`` instead of the graph size.  ``fanouts`` has one entry per
-    backbone layer (default: 10 per layer); the fairness fine-tuning phase
-    stays full-batch because the counterfactual search is global.
+    backbone layer (default: 10 per layer).
+
+    The fine-tuning phase scales through three further knobs:
+    ``finetune_minibatch`` runs the fairness fine-tune itself on sampled
+    seed batches (utility loss on the batch's labelled members, fair loss on
+    the batch's counterfactual pairs); ``None`` (the default) follows
+    ``minibatch`` so ``minibatch=True`` makes all three phases sampled.
+    ``cf_backend`` selects the counterfactual search backend — ``"exact"``
+    (the O(N²) oracle) or ``"ann"`` (random-projection forest; options via
+    ``cf_backend_options``).  ``cf_refresh_epochs`` rebuilds the
+    counterfactual index (and the ANN forest) every R fine-tune epochs;
+    ``None`` falls back to ``refresh_counterfactuals_every``.
+    ``cf_attrs_per_step`` bounds the sampled fine-tune's per-step receptive
+    field: each optimizer step draws that many pseudo-sensitive attributes
+    uniformly and rescales the fair loss by I/M (an unbiased estimator of
+    ``Σ_i λ_i D_i``), so the batch's counterfactual-target union stays
+    O(batch · M · K) instead of O(batch · I · K).  ``None`` keeps every
+    attribute every step (the full-batch semantics).
     """
 
     backbone: str = "gcn"
@@ -60,6 +76,11 @@ class FairwosConfig:
     minibatch: bool = False
     fanouts: tuple[int, ...] | None = None
     batch_size: int = 512
+    finetune_minibatch: bool | None = None
+    cf_backend: str = "exact"
+    cf_backend_options: dict | None = None
+    cf_refresh_epochs: int | None = None
+    cf_attrs_per_step: int | None = None
 
     def validate(self) -> None:
         """Raise ``ValueError`` for inconsistent settings."""
@@ -82,6 +103,17 @@ class FairwosConfig:
             raise ValueError("max_pseudo_attributes must be >= 1 or None")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if isinstance(self.cf_backend, str) and self.cf_backend.lower() not in (
+            "exact",
+            "ann",
+        ):
+            raise ValueError(
+                f"cf_backend must be 'exact' or 'ann', got {self.cf_backend!r}"
+            )
+        if self.cf_refresh_epochs is not None and self.cf_refresh_epochs < 1:
+            raise ValueError("cf_refresh_epochs must be >= 1 or None")
+        if self.cf_attrs_per_step is not None and self.cf_attrs_per_step < 1:
+            raise ValueError("cf_attrs_per_step must be >= 1 or None")
         if self.fanouts is not None:
             if len(self.fanouts) == 0:
                 raise ValueError("fanouts must be non-empty or None")
@@ -100,3 +132,15 @@ class FairwosConfig:
         if self.fanouts is not None:
             return tuple(self.fanouts)
         return (DEFAULT_FANOUT,) * self.num_layers
+
+    def resolved_finetune_minibatch(self) -> bool:
+        """Whether the fine-tune phase runs sampled (None → follow ``minibatch``)."""
+        if self.finetune_minibatch is None:
+            return self.minibatch
+        return self.finetune_minibatch
+
+    def resolved_cf_refresh(self) -> int:
+        """Counterfactual-index refresh cadence in fine-tune epochs."""
+        if self.cf_refresh_epochs is not None:
+            return self.cf_refresh_epochs
+        return self.refresh_counterfactuals_every

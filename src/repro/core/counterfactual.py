@@ -11,6 +11,15 @@ top-K nodes that
 Searching *real* nodes instead of perturbing features sidesteps the
 non-realistic counterfactual problem the paper raises against NIFTY/GEAR:
 every counterfactual returned here is an observed, plausible configuration.
+
+The nearest-neighbour ranking is delegated to a pluggable backend
+(:mod:`repro.core.ann`): ``backend="exact"`` is the original O(N²) scan and
+stays the oracle; ``backend="ann"`` queries a random-projection forest with
+per-bucket candidate masks, dropping the search to roughly O(N log N) so the
+fine-tune phase scales past ~10k nodes.  An approximate backend may miss a
+node's counterfactuals entirely; such nodes are reported as invalid (they
+self-point and contribute nothing to the fair loss), which the recall
+property tests bound.
 """
 
 from __future__ import annotations
@@ -18,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.core.ann import make_backend
 
 __all__ = ["CounterfactualIndex", "CounterfactualSearch"]
 
@@ -34,7 +45,8 @@ class CounterfactualIndex:
         ``i``.  Nodes with no valid counterfactual point at themselves.
     valid:
         ``(I, N)`` boolean; False where no counterfactual exists (the node's
-        label/attribute combination has no opposite-attribute peers).
+        label/attribute combination has no opposite-attribute peers, or an
+        approximate backend found none).
     """
 
     indices: np.ndarray
@@ -67,6 +79,13 @@ class CounterfactualSearch:
         buckets larger than this are subsampled for speed.  None = exact.
     rng:
         Only used when ``candidate_pool`` triggers subsampling.
+    backend:
+        ``"exact"`` (default, the brute-force oracle), ``"ann"`` (random-
+        projection forest, approximate) or any object exposing
+        ``prepare(points)`` / ``topk(query_ids, candidate_ids, k)``.
+    backend_options:
+        Keyword options forwarded to the backend constructor (e.g.
+        ``{"num_trees": 12, "probes": 4, "seed": 0}`` for ``"ann"``).
     """
 
     def __init__(
@@ -74,6 +93,8 @@ class CounterfactualSearch:
         top_k: int,
         candidate_pool: int | None = None,
         rng: np.random.Generator | None = None,
+        backend="exact",
+        backend_options: dict | None = None,
     ) -> None:
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
@@ -82,6 +103,7 @@ class CounterfactualSearch:
         self.top_k = top_k
         self.candidate_pool = candidate_pool
         self.rng = rng or np.random.default_rng(0)
+        self.backend = make_backend(backend, **(backend_options or {}))
 
     def search(
         self,
@@ -114,11 +136,11 @@ class CounterfactualSearch:
         indices = indices.reshape(num_attrs, n, 1).repeat(self.top_k, axis=2)
         valid = np.zeros((num_attrs, n), dtype=bool)
 
+        self.backend.prepare(representations)
         for label in np.unique(pseudo_labels):
             class_members = np.where(pseudo_labels == label)[0]
             if class_members.size < 2:
                 continue
-            class_reprs = representations[class_members]
             class_attrs = binary_attributes[class_members]
             for attr in range(num_attrs):
                 side1 = class_attrs[:, attr] == 1
@@ -126,25 +148,28 @@ class CounterfactualSearch:
                 group_b = class_members[side1]
                 if group_a.size == 0 or group_b.size == 0:
                     continue
-                self._fill_topk(
-                    representations, group_a, group_b, indices, valid, attr
-                )
-                self._fill_topk(
-                    representations, group_b, group_a, indices, valid, attr
-                )
+                self._fill_topk(group_a, group_b, indices, valid, attr)
+                self._fill_topk(group_b, group_a, indices, valid, attr)
         return CounterfactualIndex(indices=indices, valid=valid)
 
     # ------------------------------------------------------------------ #
     def _fill_topk(
         self,
-        representations: np.ndarray,
         queries: np.ndarray,
         candidates: np.ndarray,
         indices: np.ndarray,
         valid: np.ndarray,
         attr: int,
     ) -> None:
-        """Write top-K nearest ``candidates`` for each node in ``queries``."""
+        """Write top-K nearest ``candidates`` for each node in ``queries``.
+
+        The backend returns up to ``top_k`` candidate ids per query (the
+        approximate backend right-pads misses with ``-1``).  Rows with at
+        least one hit cycle their hits to fill all K slots (fewer real
+        candidates than K means repeating the available ones, as in the
+        paper's K > bucket-size corner); rows with no hit stay self-pointing
+        and invalid.
+        """
         if (
             self.candidate_pool is not None
             and candidates.size > self.candidate_pool
@@ -152,26 +177,11 @@ class CounterfactualSearch:
             candidates = self.rng.choice(
                 candidates, size=self.candidate_pool, replace=False
             )
-        query_reprs = representations[queries]
-        candidate_reprs = representations[candidates]
-        # Squared L2 distances; monotone in L2 so the ranking matches Eq. 12.
-        distances = (
-            (query_reprs**2).sum(axis=1)[:, None]
-            - 2.0 * query_reprs @ candidate_reprs.T
-            + (candidate_reprs**2).sum(axis=1)[None, :]
-        )
-        k = min(self.top_k, candidates.size)
-        if k < candidates.size:
-            top = np.argpartition(distances, k - 1, axis=1)[:, :k]
-            # Order the selected k by distance for determinism.
-            row_order = np.take_along_axis(distances, top, axis=1).argsort(axis=1)
-            top = np.take_along_axis(top, row_order, axis=1)
-        else:
-            top = distances.argsort(axis=1)
-        chosen = candidates[top]
-        if k < self.top_k:
-            # Fewer candidates than K: cycle through the available ones.
-            repeats = int(np.ceil(self.top_k / k))
-            chosen = np.tile(chosen, (1, repeats))[:, : self.top_k]
-        indices[attr, queries, :] = chosen
-        valid[attr, queries] = True
+        found = np.asarray(self.backend.topk(queries, candidates, self.top_k))
+        counts = (found >= 0).sum(axis=1)
+        rows = np.flatnonzero(counts)
+        if rows.size == 0:
+            return
+        cols = np.arange(self.top_k)[None, :] % counts[rows][:, None]
+        indices[attr, queries[rows], :] = found[rows[:, None], cols]
+        valid[attr, queries[rows]] = True

@@ -22,7 +22,7 @@ from repro.core.counterfactual import CounterfactualIndex
 from repro.tensor import Tensor
 from repro.tensor import ops
 
-__all__ = ["fair_representation_loss"]
+__all__ = ["fair_representation_loss", "fair_representation_loss_minibatch"]
 
 
 def fair_representation_loss(
@@ -83,3 +83,105 @@ def fair_representation_loss(
     if loss is None:
         loss = Tensor(np.zeros(()))
     return loss, disparities
+
+
+def fair_representation_loss_minibatch(
+    representations: Tensor,
+    counterfactuals: CounterfactualIndex,
+    weights: np.ndarray,
+    batch_nodes: np.ndarray,
+    seed_nodes: np.ndarray,
+    attrs: np.ndarray | None = None,
+) -> tuple[Tensor, np.ndarray, np.ndarray]:
+    """Batch estimate of :func:`fair_representation_loss`.
+
+    The sampled fine-tune phase computes representations only for the union
+    of a seed batch and its counterfactual targets; this function evaluates
+    the same masked, per-attribute disparity on that local slice.  With
+    ``batch_nodes`` covering every node (and ``seed_nodes`` likewise) it is
+    numerically identical to the full-batch loss.
+
+    Parameters
+    ----------
+    representations:
+        ``(S, d)`` tensor; row ``j`` is the representation of node
+        ``seed_nodes[j]`` (gradients flow into both sides of every pair).
+    counterfactuals:
+        Full-graph index; only the ``batch_nodes`` rows are read.
+    weights:
+        ``(I,)`` simplex weights λ.
+    batch_nodes:
+        Global ids of the seed batch (must be a subset of ``seed_nodes``).
+    seed_nodes:
+        Sorted unique global ids the representation rows correspond to.
+        Must contain every valid counterfactual target of ``batch_nodes``
+        (for the attributes actually evaluated).
+    attrs:
+        Optional subset of attribute indices to evaluate (the trainer's
+        ``cf_attrs_per_step`` subsampling); unevaluated attributes report
+        zero disparity and zero valid count.  ``None`` evaluates all.
+
+    Returns
+    -------
+    (loss, disparities, valid_counts):
+        Scalar loss ``Σ_i λ_i D̂_i``; the detached ``(I,)`` batch disparities
+        ``D̂_i`` (mean over the batch's *valid* nodes of the summed top-K
+        squared distances — invalid pairs contribute zero value and zero
+        gradient); and the ``(I,)`` count of valid batch nodes per attribute
+        so callers can aggregate batch disparities into the epoch-level
+        ``D_i`` with the correct weighting.
+    """
+    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+    num_attrs, _, top_k = counterfactuals.indices.shape
+    if weights.shape != (num_attrs,):
+        raise ValueError(f"expected {num_attrs} weights, got shape {weights.shape}")
+    seed_nodes = np.asarray(seed_nodes, dtype=np.int64).reshape(-1)
+    batch_nodes = np.asarray(batch_nodes, dtype=np.int64).reshape(-1)
+    if representations.shape[0] != seed_nodes.shape[0]:
+        raise ValueError(
+            f"representations rows {representations.shape[0]} != "
+            f"seed nodes {seed_nodes.shape[0]}"
+        )
+
+    def local(ids: np.ndarray) -> np.ndarray:
+        pos = np.searchsorted(seed_nodes, ids)
+        pos = np.minimum(pos, seed_nodes.size - 1)
+        if not np.array_equal(seed_nodes[pos], ids):
+            raise ValueError("node ids missing from seed_nodes")
+        return pos
+
+    batch_local = local(batch_nodes)
+    h_batch = ops.gather(representations, batch_local)
+    disparities = np.zeros(num_attrs)
+    valid_counts = np.zeros(num_attrs)
+    loss: Tensor | None = None
+    attr_list = (
+        range(num_attrs)
+        if attrs is None
+        else np.asarray(attrs, dtype=np.int64).reshape(-1)
+    )
+    for attr in attr_list:
+        valid_mask = counterfactuals.valid[attr, batch_nodes].astype(np.float64)
+        valid_count = float(valid_mask.sum())
+        valid_counts[attr] = valid_count
+        if valid_count == 0:
+            continue
+        attr_term: Tensor | None = None
+        for k in range(top_k):
+            # Invalid rows self-point, so their target is the batch node
+            # itself (always present in seed_nodes); the mask then zeroes
+            # both their value and their gradient.
+            cf_rows = ops.gather(
+                representations, local(counterfactuals.indices[attr, batch_nodes, k])
+            )
+            sq_dist = ops.sum(ops.power(ops.sub(h_batch, cf_rows), 2.0), axis=1)
+            masked = ops.mul(sq_dist, Tensor(valid_mask))
+            term = ops.div(ops.sum(masked), valid_count)
+            attr_term = term if attr_term is None else ops.add(attr_term, term)
+        disparities[attr] = float(attr_term.data)
+        if weights[attr] != 0.0:
+            weighted = ops.mul(attr_term, float(weights[attr]))
+            loss = weighted if loss is None else ops.add(loss, weighted)
+    if loss is None:
+        loss = Tensor(np.zeros(()))
+    return loss, disparities, valid_counts

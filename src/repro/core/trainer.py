@@ -24,18 +24,24 @@ import numpy as np
 from repro.core.config import FairwosConfig
 from repro.core.counterfactual import CounterfactualIndex, CounterfactualSearch
 from repro.core.encoder import EncoderModule, binarize_attributes
-from repro.core.fairloss import fair_representation_loss
+from repro.core.fairloss import (
+    fair_representation_loss,
+    fair_representation_loss_minibatch,
+)
 from repro.core.weights import WeightUpdater
 from repro.fairness import EvalResult, evaluate_predictions
 from repro.fairness.metrics import accuracy
 from repro.gnnzoo import make_backbone
 from repro.graph import Graph
+from repro.graph.sampling import NeighborSampler
 from repro.nn import binary_cross_entropy_with_logits
 from repro.optim import Adam
 from repro.tensor import Tensor, no_grad
 from repro.training import (
+    embed_batched,
     fit_binary_classifier,
     fit_minibatch,
+    iter_minibatches,
     predict_logits,
     predict_logits_batched,
 )
@@ -196,8 +202,14 @@ class FairwosTrainer:
         )
         coverage = 0.0
         if config.use_fairness:
-            coverage = self._finetune(
-                graph, pseudo_tensor, binary_attrs, pseudo_labels, updater, history
+            finetune = (
+                self._finetune_minibatch
+                if config.resolved_finetune_minibatch()
+                else self._finetune
+            )
+            coverage = finetune(
+                graph, pseudo_tensor, binary_attrs, pseudo_labels, updater,
+                history, rng,
             )
         timings["finetune"] = time.perf_counter() - start
 
@@ -217,6 +229,21 @@ class FairwosTrainer:
         )
 
     # ------------------------------------------------------------------ #
+    def _make_search(self, rng: np.random.Generator) -> CounterfactualSearch:
+        """Counterfactual search with the configured backend.
+
+        The ANN forest's construction seed is drawn from ``rng`` so runs stay
+        reproducible per trainer seed (unless the caller pinned one in
+        ``cf_backend_options``).
+        """
+        config = self.config
+        options = dict(config.cf_backend_options or {})
+        if isinstance(config.cf_backend, str) and config.cf_backend.lower() == "ann":
+            options.setdefault("seed", int(rng.integers(2**31)))
+        return CounterfactualSearch(
+            config.top_k, backend=config.cf_backend, backend_options=options
+        )
+
     def _finetune(
         self,
         graph: Graph,
@@ -225,6 +252,7 @@ class FairwosTrainer:
         pseudo_labels: np.ndarray,
         updater: WeightUpdater,
         history: dict[str, list[float]],
+        rng: np.random.Generator,
     ) -> float:
         """Lines 5–13 of Algorithm 1. Returns final counterfactual coverage."""
         config = self.config
@@ -237,7 +265,7 @@ class FairwosTrainer:
             lr=config.finetune_learning_rate or config.learning_rate,
             weight_decay=config.weight_decay,
         )
-        search = CounterfactualSearch(config.top_k)
+        search = self._make_search(rng)
         cf_index: CounterfactualIndex | None = None
         coverage = 0.0
         # "Early stop operation to preserve competitive utility": abort the
@@ -249,11 +277,15 @@ class FairwosTrainer:
         ]
         floor = accuracy(
             (floor_logits > 0).astype(np.int64), graph.labels[graph.val_mask]
-        ) - (config.finetune_val_tolerance or np.inf)
+        ) - (
+            np.inf
+            if config.finetune_val_tolerance is None
+            else config.finetune_val_tolerance
+        )
         last_good_state = classifier.state_dict()
 
         for epoch in range(config.finetune_epochs):
-            if cf_index is None or epoch % config.refresh_counterfactuals_every == 0:
+            if cf_index is None or epoch % config.resolved_cf_refresh() == 0:
                 with no_grad():
                     reps = classifier.embed(pseudo_tensor, adjacency).data
                 cf_index = search.search(reps, pseudo_labels, binary_attrs)
@@ -294,6 +326,167 @@ class FairwosTrainer:
         return coverage
 
     # ------------------------------------------------------------------ #
+    def _finetune_minibatch(
+        self,
+        graph: Graph,
+        pseudo_tensor: Tensor,
+        binary_attrs: np.ndarray,
+        pseudo_labels: np.ndarray,
+        updater: WeightUpdater,
+        history: dict[str, list[float]],
+        rng: np.random.Generator,
+    ) -> float:
+        """Neighbour-sampled fine-tune: lines 5–13 on seed batches.
+
+        Every step draws a seed batch over *all* nodes, extends it with the
+        batch's counterfactual targets, folds the union's sampled blocks, and
+        optimises the utility loss on the batch's labelled members plus the
+        weighted fair loss on the batch's counterfactual pairs.  Peak memory
+        is bounded by the batch receptive field; the counterfactual index is
+        refreshed every ``resolved_cf_refresh()`` epochs from exact batched
+        embeddings.  The validation floor / best-state checkpoint contract
+        mirrors the full-batch :meth:`_finetune`.
+        """
+        config = self.config
+        classifier = self.classifier
+        adjacency = graph.adjacency
+        feature_array = pseudo_tensor.data
+        num_nodes = feature_array.shape[0]
+        all_nodes = np.arange(num_nodes, dtype=np.int64)
+        train_mask = np.asarray(graph.train_mask, dtype=bool)
+        labels = graph.labels
+        val_indices = np.where(graph.val_mask)[0]
+        val_labels = labels[val_indices]
+        num_attrs = binary_attrs.shape[1]
+        optimizer = Adam(
+            classifier.parameters(),
+            lr=config.finetune_learning_rate or config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        search = self._make_search(rng)
+        sampler = NeighborSampler(adjacency, config.resolved_fanouts())
+        refresh = config.resolved_cf_refresh()
+        cf_index: CounterfactualIndex | None = None
+        coverage = 0.0
+
+        def val_accuracy() -> float:
+            logits = predict_logits_batched(
+                classifier,
+                feature_array,
+                adjacency,
+                nodes=val_indices,
+                batch_size=config.batch_size,
+            )
+            return accuracy((logits > 0).astype(np.int64), val_labels)
+
+        floor = val_accuracy() - (
+            np.inf
+            if config.finetune_val_tolerance is None
+            else config.finetune_val_tolerance
+        )
+        last_good_state = classifier.state_dict()
+
+        running_disparities = np.zeros(num_attrs)
+        for epoch in range(config.finetune_epochs):
+            if cf_index is None or epoch % refresh == 0:
+                reps = embed_batched(
+                    classifier,
+                    feature_array,
+                    adjacency,
+                    batch_size=config.batch_size,
+                )
+                cf_index = search.search(reps, pseudo_labels, binary_attrs)
+                coverage = cf_index.coverage()
+                # Snapshot disparities for every attribute so the λ update
+                # has a current estimate even for attributes a subsampling
+                # epoch never draws (they must not read as "perfectly fair").
+                running_disparities = _snapshot_disparities(reps, cf_index)
+
+            classifier.train()
+            epoch_utility = epoch_fair = 0.0
+            train_seen = 0
+            disparity_sums = np.zeros(num_attrs)
+            disparity_counts = np.zeros(num_attrs)
+            for batch in iter_minibatches(all_nodes, config.batch_size, rng):
+                # Attribute subsampling (cf_attrs_per_step): each step only
+                # materialises M of the I attributes' counterfactual pairs;
+                # the I/M rescale keeps the fair-loss gradient unbiased.
+                if (
+                    config.cf_attrs_per_step is not None
+                    and config.cf_attrs_per_step < num_attrs
+                ):
+                    attrs_step = np.sort(
+                        rng.choice(
+                            num_attrs, size=config.cf_attrs_per_step, replace=False
+                        )
+                    )
+                    fair_scale = num_attrs / attrs_step.size
+                else:
+                    attrs_step = np.arange(num_attrs)
+                    fair_scale = 1.0
+                # Seed set: the batch plus its valid counterfactual targets,
+                # so the fair loss's gradient reaches both sides of each pair.
+                # np.ix_ slices both axes at once — no O(I·N·K) intermediate.
+                sub = np.ix_(attrs_step, batch)
+                targets = cf_index.indices[sub][cf_index.valid[sub]]
+                seeds = np.unique(np.concatenate([batch, targets.reshape(-1)]))
+                blocks = sampler.sample_blocks(seeds, rng)
+                optimizer.zero_grad()
+                h = classifier.embed_blocks(
+                    Tensor(feature_array[blocks[0].src_nodes]), blocks
+                )
+                batch_train = batch[train_mask[batch]]
+                if batch_train.size:
+                    logits = classifier.head(h).reshape(-1)
+                    local = np.searchsorted(seeds, batch_train)
+                    utility = binary_cross_entropy_with_logits(
+                        logits[local], labels[batch_train].astype(np.float64)
+                    )
+                else:
+                    utility = Tensor(np.zeros(()))
+                fair, disparities, valid_counts = fair_representation_loss_minibatch(
+                    h, cf_index, updater.weights, batch, seeds, attrs=attrs_step
+                )
+                total = utility + (config.alpha * fair_scale) * fair
+                total.backward()
+                optimizer.step()
+                disparity_sums += disparities * valid_counts
+                disparity_counts += valid_counts
+                # Each mean is re-weighted by the count it was taken over so
+                # the logged epoch values match the full-batch statistics.
+                epoch_utility += float(utility.data) * batch_train.size
+                train_seen += batch_train.size
+                epoch_fair += float(fair.data) * fair_scale * batch.size
+
+            if config.use_weight_update:
+                # Weighted mean of the batch disparities == the full-graph
+                # D_i (mean over valid nodes), so the λ update sees the same
+                # statistic as the full-batch path.  Attributes this epoch
+                # never evaluated (cf_attrs_per_step subsampling) keep their
+                # latest estimate instead of collapsing to zero.
+                seen = disparity_counts > 0
+                running_disparities[seen] = (
+                    disparity_sums[seen] / disparity_counts[seen]
+                )
+                updater.update(running_disparities)
+
+            val_acc = val_accuracy()
+            utility_epoch = epoch_utility / max(train_seen, 1)
+            fair_epoch = epoch_fair / num_nodes
+            history["finetune_loss"].append(
+                utility_epoch + config.alpha * fair_epoch
+            )
+            history["finetune_utility_loss"].append(utility_epoch)
+            history["finetune_fair_loss"].append(fair_epoch)
+            history["finetune_val_accuracy"].append(val_acc)
+            if val_acc >= floor:
+                last_good_state = classifier.state_dict()
+            elif config.finetune_val_tolerance is not None:
+                classifier.load_state_dict(last_good_state)
+                break
+        return coverage
+
+    # ------------------------------------------------------------------ #
     def _predict_logits(self, pseudo_tensor: Tensor, adjacency) -> np.ndarray:
         """Full-graph logits, batched when the config asks for minibatching."""
         if self.config.minibatch:
@@ -310,6 +503,21 @@ class FairwosTrainer:
         if self.classifier is None or self._pseudo_features is None:
             raise RuntimeError("call fit() before predict()")
         return self._predict_logits(self._pseudo_features, graph.adjacency)
+
+
+def _snapshot_disparities(
+    representations: np.ndarray, cf_index: CounterfactualIndex
+) -> np.ndarray:
+    """Per-attribute disparities ``D_i`` from a detached representation
+    snapshot — the sampled fine-tune's λ-update baseline for attributes its
+    subsampled epochs have not yet measured.  Delegates to
+    :func:`fair_representation_loss` (zero weights, gradients disabled) so
+    the Eq. 12 formula lives in exactly one place."""
+    with no_grad():
+        _, disparities = fair_representation_loss(
+            Tensor(representations), cf_index, np.zeros(cf_index.num_attributes)
+        )
+    return disparities
 
 
 def _standardize(matrix: np.ndarray) -> np.ndarray:

@@ -74,6 +74,9 @@ def run_method(
     minibatch: bool = False,
     fanouts: tuple[int, ...] | None = None,
     batch_size: int = 512,
+    cf_backend: str = "exact",
+    cf_refresh_epochs: int | None = None,
+    finetune_minibatch: bool | None = None,
 ) -> MethodResult:
     """Train one method and return its evaluation.
 
@@ -93,9 +96,12 @@ def run_method(
         Full config override for the Fairwos run; when None the per-dataset
         entry of :data:`FAIRWOS_OVERRIDES` is applied.
     minibatch, fanouts, batch_size:
-        Neighbour-sampled training (large graphs).  Supported by "vanilla"
-        and "fairwos"; with ``fanouts`` set, the backbone depth follows its
-        length.  Other baselines reject ``minibatch=True``.
+        Neighbour-sampled training (large graphs).  Supported by "vanilla",
+        "remover" and "fairwos"; with ``fanouts`` set, the backbone depth
+        follows its length.  Other baselines reject ``minibatch=True``.
+    cf_backend, cf_refresh_epochs, finetune_minibatch:
+        Fairwos fine-tune scaling knobs (see
+        :class:`~repro.core.config.FairwosConfig`); ignored by baselines.
     """
     key = method.lower()
     baseline_classes = {
@@ -107,7 +113,7 @@ def run_method(
     }
     if key in baseline_classes:
         kwargs = dict(backbone=backbone, epochs=epochs, patience=patience)
-        if key == "vanilla":
+        if key in ("vanilla", "remover"):
             kwargs.update(
                 minibatch=minibatch,
                 fanouts=fanouts,
@@ -116,18 +122,24 @@ def run_method(
             )
         elif minibatch:
             raise ValueError(
-                f"minibatch training is wired for 'vanilla' and 'fairwos', "
-                f"not {method!r}"
+                f"minibatch training is wired for 'vanilla', 'remover' and "
+                f"'fairwos', not {method!r}"
             )
         runner = baseline_classes[key](**kwargs)
         return runner.fit(graph, seed=seed)
     if key != "fairwos":
         raise ValueError(f"unknown method {method!r}; choose from {METHOD_ORDER}")
 
-    if fairwos_config is not None and minibatch:
+    if fairwos_config is not None and (
+        minibatch
+        or cf_backend != "exact"
+        or cf_refresh_epochs is not None
+        or finetune_minibatch is not None
+    ):
         raise ValueError(
-            "pass minibatch settings inside fairwos_config (minibatch/fanouts/"
-            "batch_size fields) when supplying an explicit config"
+            "pass minibatch/counterfactual settings inside fairwos_config "
+            "(minibatch/fanouts/batch_size/cf_backend/cf_refresh_epochs "
+            "fields) when supplying an explicit config"
         )
     if fairwos_config is None:
         overrides = FAIRWOS_OVERRIDES.get(graph.name, FAIRWOS_OVERRIDES["default"])
@@ -141,6 +153,9 @@ def run_method(
             fanouts=fanouts,
             batch_size=batch_size,
             num_layers=len(fanouts) if fanouts else 1,
+            cf_backend=cf_backend,
+            cf_refresh_epochs=cf_refresh_epochs,
+            finetune_minibatch=finetune_minibatch,
             **overrides,
         )
     start = time.perf_counter()

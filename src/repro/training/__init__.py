@@ -8,6 +8,7 @@ same early-stopping / best-model contract.
 from repro.training.loop import FitHistory, fit_binary_classifier, predict_logits
 from repro.training.minibatch import (
     DEFAULT_FANOUT,
+    embed_batched,
     fit_minibatch,
     iter_minibatches,
     predict_logits_batched,
@@ -16,6 +17,7 @@ from repro.training.minibatch import (
 __all__ = [
     "DEFAULT_FANOUT",
     "FitHistory",
+    "embed_batched",
     "fit_binary_classifier",
     "predict_logits",
     "fit_minibatch",

@@ -31,6 +31,7 @@ from repro.training.loop import FitHistory
 
 __all__ = [
     "DEFAULT_FANOUT",
+    "embed_batched",
     "fit_minibatch",
     "predict_logits_batched",
     "iter_minibatches",
@@ -135,6 +136,61 @@ def predict_logits_batched(
             filled += batch.size
     model.train(was_training)
     return logits
+
+
+def embed_batched(
+    model: Module,
+    features,
+    adjacency: sp.spmatrix,
+    nodes: np.ndarray | None = None,
+    batch_size: int = 1024,
+    num_layers: int | None = None,
+    sampler: NeighborSampler | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Inference-mode node representations, one seed batch at a time.
+
+    The representation-space analogue of :func:`predict_logits_batched`:
+    folds each batch's exact L-hop neighbourhood through ``model.embed_blocks``
+    so the output matches full-batch ``model.embed`` while only one batch's
+    computation graph is live.  Used by the sampled fine-tune phase to
+    refresh the counterfactual index without a full-graph forward pass.
+
+    Returns an ``(len(nodes), hidden)`` float64 array.
+    """
+    feature_array = _as_feature_array(features)
+    if sampler is None:
+        sampler = NeighborSampler.full_neighborhood(
+            adjacency, _resolve_num_layers(model, num_layers)
+        )
+    if nodes is None:
+        nodes = np.arange(sampler.num_nodes)
+    nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
+    if nodes.size == 0:
+        # The embedding width is unknown without a forward pass, so an
+        # empty request has no well-defined result shape.
+        raise ValueError("nodes must be non-empty")
+    if rng is None:
+        # Matches predict_logits_batched: the exact full-neighbourhood
+        # default never consumes the generator; a custom sampling sampler
+        # without an explicit rng must not repeat identical draws.
+        rng = np.random.default_rng()
+
+    out: np.ndarray | None = None
+    was_training = model.training
+    model.eval()
+    with no_grad():
+        filled = 0
+        for batch in iter_minibatches(nodes, batch_size):
+            blocks = sampler.sample_blocks(batch, rng)
+            batch_features = Tensor(feature_array[blocks[0].src_nodes])
+            h = model.embed_blocks(batch_features, blocks).data
+            if out is None:
+                out = np.empty((nodes.size, h.shape[1]), dtype=np.float64)
+            out[filled : filled + batch.size] = h
+            filled += batch.size
+    model.train(was_training)
+    return out
 
 
 def fit_minibatch(

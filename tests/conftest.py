@@ -1,13 +1,40 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures and hypothesis profiles for the test-suite.
+
+Hypothesis profiles (select with ``HYPOTHESIS_PROFILE=<name>``):
+
+* ``ci`` — the fast CI matrix: fewer examples, derandomized so every run
+  replays the same cases;
+* ``ci-slow`` — the non-blocking slow job: many more examples to hunt for
+  adversarial inputs without gating the PR;
+* default — hypothesis's stock settings for local development.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from hypothesis import HealthCheck, settings
 
 from repro.datasets import BiasSpec, generate_biased_graph
 from repro.graph import Graph
+
+settings.register_profile(
+    "ci",
+    max_examples=20,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci-slow",
+    max_examples=200,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

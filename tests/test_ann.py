@@ -1,0 +1,213 @@
+"""Property tests for the ANN subsystem (repro.core.ann).
+
+The contract under test: "approximate" must never silently mean "wrong".
+
+* recall@K of the random-projection forest stays ≥ 0.9 against the exact
+  oracle on both clustered and uniform point sets;
+* masked queries never return a candidate the mask forbids (this is the
+  invariant the counterfactual search's label/attribute constraints ride
+  on);
+* building twice with the same seed gives identical indexes (determinism);
+* exhaustive probing reproduces the exact oracle bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ann import (
+    EXHAUSTIVE,
+    AnnBackend,
+    ExactBackend,
+    RPForestIndex,
+    exact_topk,
+    make_backend,
+)
+
+# Forest sized for high recall on the small point sets hypothesis explores;
+# the recall property is asserted against these settings.
+FOREST = dict(num_trees=10, leaf_size=24, probes=3)
+
+
+def _recall(index: RPForestIndex, X: np.ndarray, queries: np.ndarray, k: int) -> float:
+    approx = index.query(queries, k)
+    exact = exact_topk(X, queries, np.arange(X.shape[0]), k)
+    hits = sum(
+        len(set(a[a >= 0]) & set(e)) for a, e in zip(approx, exact)
+    )
+    return hits / (queries.shape[0] * exact.shape[1])
+
+
+class TestRecall:
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 10_000), dim=st.integers(2, 8), k=st.integers(1, 10))
+    def test_recall_uniform(self, seed, dim, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(40, 400))
+        X = rng.normal(size=(n, dim))
+        index = RPForestIndex(**FOREST, seed=seed).build(X)
+        assert _recall(index, X, X[: min(n, 64)], k) >= 0.9
+
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 10_000), dim=st.integers(2, 8), k=st.integers(1, 10))
+    def test_recall_clustered(self, seed, dim, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(60, 400))
+        centers = rng.normal(scale=8.0, size=(5, dim))
+        X = centers[rng.integers(0, 5, size=n)] + rng.normal(size=(n, dim))
+        index = RPForestIndex(**FOREST, seed=seed).build(X)
+        assert _recall(index, X, X[: min(n, 64)], k) >= 0.9
+
+
+class TestMasking:
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 8))
+    def test_masked_queries_never_violate_mask(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(20, 300))
+        X = rng.normal(size=(n, 4))
+        mask = rng.random(n) < rng.uniform(0.05, 0.9)
+        index = RPForestIndex(**FOREST, seed=seed).build(X)
+        for probes in (1, FOREST["probes"], EXHAUSTIVE):
+            out = index.query(X[:32], k, mask=mask, probes=probes)
+            returned = out[out >= 0]
+            assert mask[returned].all()
+
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_counterfactual_constraint_masks(self, seed):
+        """Through the backend: hits share the label and flip the attribute."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(30, 200))
+        X = rng.normal(size=(n, 4))
+        labels = rng.integers(0, 2, size=n)
+        attrs = rng.integers(0, 2, size=n)
+        backend = AnnBackend(**FOREST, seed=seed)
+        backend.prepare(X)
+        queries = np.flatnonzero((labels == 1) & (attrs == 0))
+        candidates = np.flatnonzero((labels == 1) & (attrs == 1))
+        if queries.size == 0 or candidates.size == 0:
+            return
+        found = backend.topk(queries, candidates, 3)
+        hits = found[found >= 0]
+        assert np.isin(hits, candidates).all()
+
+    def test_empty_mask_returns_all_padding(self):
+        X = np.random.default_rng(0).normal(size=(50, 3))
+        index = RPForestIndex(**FOREST, seed=0).build(X)
+        out = index.query(X[:5], 4, mask=np.zeros(50, dtype=bool))
+        assert (out == -1).all()
+
+    def test_fewer_candidates_than_k_pads_right(self):
+        X = np.random.default_rng(1).normal(size=(40, 3))
+        mask = np.zeros(40, dtype=bool)
+        mask[[3, 17]] = True
+        index = RPForestIndex(**FOREST, seed=0).build(X)
+        out = index.query(X[:6], 5, mask=mask)
+        for row in out:
+            found = row[row >= 0]
+            assert set(found) <= {3, 17}
+            # padding is trailing, never interleaved
+            assert (row[len(found):] == -1).all()
+
+
+class TestDeterminism:
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 10_000), build_seed=st.integers(0, 100))
+    def test_same_seed_same_index(self, seed, build_seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(int(rng.integers(30, 250)), 5))
+        a = RPForestIndex(**FOREST, seed=build_seed).build(X)
+        b = RPForestIndex(**FOREST, seed=build_seed).build(X)
+        queries = X[:32]
+        np.testing.assert_array_equal(a.query(queries, 5), b.query(queries, 5))
+
+    def test_different_seed_may_differ_but_stays_valid(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(200, 5))
+        a = RPForestIndex(**FOREST, seed=0).build(X)
+        out = a.query(X[:16], 5)
+        assert out.shape == (16, 5)
+        assert (out < 200).all()
+
+    def test_rebuild_resets_state(self):
+        rng = np.random.default_rng(4)
+        X1 = rng.normal(size=(100, 4))
+        X2 = rng.normal(size=(120, 4))
+        index = RPForestIndex(**FOREST, seed=7)
+        index.build(X1)
+        first = index.query(X1[:8], 3)
+        index.build(X2)
+        assert index.num_points == 120
+        index.build(X1)
+        np.testing.assert_array_equal(index.query(X1[:8], 3), first)
+
+
+class TestExhaustiveOracle:
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 8))
+    def test_exhaustive_probing_equals_exact(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(20, 250))
+        X = rng.normal(size=(n, 4))
+        index = RPForestIndex(**FOREST, seed=seed).build(X)
+        out = index.query(X[:32], k, probes=EXHAUSTIVE)
+        expected = exact_topk(X, X[:32], np.arange(n), k)
+        np.testing.assert_array_equal(out[:, : expected.shape[1]], expected)
+        assert (out[:, expected.shape[1]:] == -1).all()
+
+    def test_exhaustive_backend_matches_exact_backend(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(150, 6))
+        queries = np.arange(0, 150, 3)
+        candidates = np.arange(1, 150, 2)
+        exact = ExactBackend()
+        exact.prepare(X)
+        ann = AnnBackend(**FOREST, seed=0, exhaustive=True)
+        ann.prepare(X)
+        np.testing.assert_array_equal(
+            exact.topk(queries, candidates, 4), ann.topk(queries, candidates, 4)
+        )
+
+
+class TestValidationAndFactory:
+    def test_query_before_build(self):
+        with pytest.raises(RuntimeError):
+            RPForestIndex().query(np.zeros((1, 3)), 1)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            RPForestIndex(num_trees=0)
+        with pytest.raises(ValueError):
+            RPForestIndex(leaf_size=0)
+        with pytest.raises(ValueError):
+            RPForestIndex(probes=0)
+        index = RPForestIndex().build(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            index.query(np.zeros((1, 2)), 0)
+        with pytest.raises(ValueError):
+            index.query(np.zeros((1, 3)), 1)  # wrong dim
+        with pytest.raises(ValueError):
+            index.query(np.zeros((1, 2)), 1, mask=np.ones(5, dtype=bool))
+
+    def test_make_backend(self):
+        assert isinstance(make_backend("exact"), ExactBackend)
+        assert isinstance(make_backend("ann", num_trees=3), AnnBackend)
+        custom = ExactBackend()
+        assert make_backend(custom) is custom
+        with pytest.raises(ValueError):
+            make_backend("exact", num_trees=3)
+        with pytest.raises(ValueError):
+            make_backend("bogus")
+        with pytest.raises(TypeError):
+            make_backend(42)
+
+    def test_single_point_and_tiny_sets(self):
+        X = np.array([[1.0, 2.0]])
+        index = RPForestIndex(**FOREST, seed=0).build(X)
+        out = index.query(X, 3)
+        assert out[0, 0] == 0
+        assert (out[0, 1:] == -1).all()

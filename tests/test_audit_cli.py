@@ -89,3 +89,28 @@ class TestCLI:
             "--methods", "vanilla", "--scale", "smoke",
         ])
         assert "Table II" in output
+
+    def test_parser_cf_backend_options(self):
+        args = build_parser().parse_args([
+            "run", "--method", "fairwos", "--cf-backend", "ann",
+            "--cf-refresh", "3",
+        ])
+        assert args.cf_backend == "ann"
+        assert args.cf_refresh == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--cf-backend", "bogus"])
+
+    def test_leading_option_defaults_to_run(self):
+        # `repro --method ...` (no subcommand) is shorthand for `repro run ...`.
+        output = main(["--method", "vanilla", "--dataset", "nba",
+                       "--epochs", "20"])
+        assert "Vanilla" in output
+
+    def test_run_fairwos_ann_minibatch(self):
+        output = main([
+            "run", "--method", "fairwos", "--dataset", "nba",
+            "--epochs", "15", "--minibatch", "--batch-size", "128",
+            "--cf-backend", "ann", "--cf-refresh", "5",
+        ])
+        assert "Fairwos" in output
+        assert "cf-backend=ann" in output

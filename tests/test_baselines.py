@@ -75,6 +75,22 @@ class TestRemoveR:
         result = RemoveR(**FAST).fit(small_graph, seed=0)
         assert result.extra["removed_columns"] == small_graph.related_feature_indices.size
 
+    def test_minibatch_mode_close_to_fullbatch(self, small_graph):
+        full = RemoveR(epochs=60, patience=20).fit(small_graph, seed=0)
+        mini = RemoveR(
+            epochs=60, patience=20, minibatch=True, fanouts=(10,), batch_size=64
+        ).fit(small_graph, seed=0)
+        assert mini.extra["removed_columns"] == full.extra["removed_columns"]
+        # Same contract as Vanilla's minibatch mode: competitive utility.
+        assert mini.test.accuracy >= full.test.accuracy - 0.05
+
+    def test_minibatch_deterministic_given_seed(self, small_graph):
+        kwargs = dict(epochs=30, patience=10, minibatch=True, batch_size=64)
+        r1 = RemoveR(**kwargs).fit(small_graph, seed=3)
+        r2 = RemoveR(**kwargs).fit(small_graph, seed=3)
+        assert r1.test.accuracy == r2.test.accuracy
+        assert r1.test.delta_sp == r2.test.delta_sp
+
 
 class TestKSMOTE:
     def test_reports_synthetic_nodes(self, small_graph):

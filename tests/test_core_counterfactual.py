@@ -151,3 +151,93 @@ class TestValidationAndOptions:
         b = CounterfactualSearch(top_k=2).search(reps, labels, attrs)
         np.testing.assert_array_equal(a.indices, b.indices)
         np.testing.assert_array_equal(a.valid, b.valid)
+
+
+class TestBackends:
+    """The exact path stays the oracle; the ANN path must never violate the
+    counterfactual constraints and reproduces the oracle bit-for-bit under
+    exhaustive probing."""
+
+    @staticmethod
+    def _data(seed, n=120, dim=5, num_attrs=3):
+        rng = np.random.default_rng(seed)
+        return (
+            rng.normal(size=(n, dim)),
+            rng.integers(0, 2, size=n),
+            rng.integers(0, 2, size=(n, num_attrs)),
+        )
+
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 5000), k=st.integers(1, 6))
+    def test_ann_exhaustive_bit_for_bit(self, seed, k):
+        reps, labels, attrs = self._data(seed)
+        exact = CounterfactualSearch(top_k=k).search(reps, labels, attrs)
+        ann = CounterfactualSearch(
+            top_k=k, backend="ann", backend_options={"exhaustive": True, "seed": seed}
+        ).search(reps, labels, attrs)
+        np.testing.assert_array_equal(exact.indices, ann.indices)
+        np.testing.assert_array_equal(exact.valid, ann.valid)
+
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 5000))
+    def test_ann_respects_label_and_attribute_constraints(self, seed):
+        reps, labels, attrs = self._data(seed)
+        index = CounterfactualSearch(
+            top_k=3, backend="ann",
+            backend_options={"num_trees": 10, "probes": 3, "seed": seed},
+        ).search(reps, labels, attrs)
+        for attr in range(attrs.shape[1]):
+            for node in np.flatnonzero(index.valid[attr]):
+                for cf in index.indices[attr, node]:
+                    assert labels[cf] == labels[node]
+                    assert attrs[cf, attr] != attrs[node, attr]
+
+    def test_ann_deterministic_given_seed(self):
+        reps, labels, attrs = self._data(11)
+        make = lambda: CounterfactualSearch(  # noqa: E731
+            top_k=2, backend="ann", backend_options={"seed": 5}
+        ).search(reps, labels, attrs)
+        a, b = make(), make()
+        np.testing.assert_array_equal(a.indices, b.indices)
+        np.testing.assert_array_equal(a.valid, b.valid)
+
+    def test_ann_high_agreement_with_exact(self):
+        reps, labels, attrs = self._data(13, n=300)
+        exact = CounterfactualSearch(top_k=3).search(reps, labels, attrs)
+        ann = CounterfactualSearch(
+            top_k=3, backend="ann",
+            backend_options={"num_trees": 10, "probes": 3, "seed": 0},
+        ).search(reps, labels, attrs)
+        both = exact.valid & ann.valid
+        agreement = (exact.indices == ann.indices)[both].mean()
+        assert agreement >= 0.9
+        assert ann.coverage() >= exact.coverage() - 0.05
+
+    def test_ann_misses_marked_invalid_not_wrong(self):
+        # A deliberately weak forest may miss candidates; the contract is
+        # that misses surface as invalid self-pointers, never as nodes that
+        # break the constraints.
+        reps, labels, attrs = self._data(17, n=200)
+        index = CounterfactualSearch(
+            top_k=2, backend="ann",
+            backend_options={"num_trees": 1, "leaf_size": 4, "probes": 1, "seed": 0},
+        ).search(reps, labels, attrs)
+        n = reps.shape[0]
+        for attr in range(attrs.shape[1]):
+            invalid = ~index.valid[attr]
+            np.testing.assert_array_equal(
+                index.indices[attr, invalid, 0], np.arange(n)[invalid]
+            )
+            for node in np.flatnonzero(index.valid[attr]):
+                for cf in index.indices[attr, node]:
+                    assert attrs[cf, attr] != attrs[node, attr]
+
+    def test_backend_object_passthrough(self):
+        from repro.core.ann import ExactBackend
+
+        reps, labels, attrs = self._data(19, n=60)
+        via_str = CounterfactualSearch(top_k=2).search(reps, labels, attrs)
+        via_obj = CounterfactualSearch(top_k=2, backend=ExactBackend()).search(
+            reps, labels, attrs
+        )
+        np.testing.assert_array_equal(via_str.indices, via_obj.indices)

@@ -59,6 +59,41 @@ class TestMethodRegistry:
         with pytest.raises(ValueError, match="unknown method"):
             run_method("mystery", small_graph)
 
+    @pytest.mark.parametrize("method", ["vanilla", "remover", "fairwos"])
+    def test_run_method_minibatch(self, method, small_graph):
+        result = run_method(
+            method, small_graph, epochs=25, finetune_epochs=2, patience=5,
+            minibatch=True, fanouts=(10,), batch_size=64,
+        )
+        assert 0.0 <= result.test.accuracy <= 1.0
+
+    @pytest.mark.parametrize("method", ["ksmote", "fairrf", "fairgkd"])
+    def test_run_method_minibatch_rejected(self, method, small_graph):
+        with pytest.raises(ValueError, match="minibatch"):
+            run_method(method, small_graph, minibatch=True)
+
+    def test_run_method_fairwos_ann_backend(self, small_graph):
+        result = run_method(
+            "fairwos", small_graph, epochs=25, finetune_epochs=2, patience=5,
+            minibatch=True, batch_size=64, cf_backend="ann", cf_refresh_epochs=2,
+        )
+        assert 0.0 <= result.test.accuracy <= 1.0
+        assert result.extra["counterfactual_coverage"] > 0.0
+
+    def test_explicit_config_rejects_cf_overrides(self, small_graph):
+        from repro.core import FairwosConfig
+
+        with pytest.raises(ValueError, match="fairwos_config"):
+            run_method(
+                "fairwos", small_graph,
+                fairwos_config=FairwosConfig(), cf_backend="ann",
+            )
+        with pytest.raises(ValueError, match="fairwos_config"):
+            run_method(
+                "fairwos", small_graph,
+                fairwos_config=FairwosConfig(), finetune_minibatch=True,
+            )
+
 
 @pytest.mark.slow
 class TestTable1:
