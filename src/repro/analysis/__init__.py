@@ -6,7 +6,7 @@ offline, and the algorithms are small enough to implement exactly.
 """
 
 from repro.analysis.pca import pca
-from repro.analysis.kmeans import kmeans
+from repro.analysis.kmeans import assign_to_centers, kmeans, minibatch_kmeans
 from repro.analysis.tsne import tsne
 from repro.analysis.correlation import pearson_correlation, correlation_with_vector
 from repro.analysis.embeddings import deepwalk_embeddings
@@ -14,6 +14,8 @@ from repro.analysis.embeddings import deepwalk_embeddings
 __all__ = [
     "pca",
     "kmeans",
+    "minibatch_kmeans",
+    "assign_to_centers",
     "tsne",
     "pearson_correlation",
     "correlation_with_vector",

@@ -1,10 +1,18 @@
-"""Lloyd's k-means with k-means++ initialisation."""
+"""Lloyd's k-means with k-means++ initialisation, plus a minibatch variant.
+
+:func:`minibatch_kmeans` is the sampled formulation used by KSMOTE's
+large-graph path: each iteration assigns one random batch and moves the
+centroids towards the batch means with per-centroid counts-based learning
+rates (Sculley, WWW 2010), so no step ever touches an ``(N, k)`` distance
+matrix.  A covering batch (``batch_size >= N``) delegates to the exact
+:func:`kmeans`, which the full-vs-minibatch differential tests rely on.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["kmeans"]
+__all__ = ["kmeans", "minibatch_kmeans", "assign_to_centers"]
 
 
 def _kmeanspp_init(
@@ -72,4 +80,87 @@ def kmeans(
             break
     diffs = data - centers[assignments]
     inertia = float((diffs**2).sum())
+    return assignments, centers, inertia
+
+
+def assign_to_centers(
+    data: np.ndarray, centers: np.ndarray, chunk_size: int = 8192
+) -> tuple[np.ndarray, float]:
+    """Nearest-center assignment in fixed-size chunks.
+
+    Returns ``(assignments, inertia)`` while never holding more than a
+    ``(chunk_size, k)`` distance block — the memory-bounded final pass of
+    :func:`minibatch_kmeans`.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    assignments = np.empty(data.shape[0], dtype=np.int64)
+    inertia = 0.0
+    center_norms = (centers**2).sum(axis=1)
+    for start in range(0, data.shape[0], chunk_size):
+        block = data[start : start + chunk_size]
+        distances = center_norms[None, :] - 2.0 * (block @ centers.T)
+        local = distances.argmin(axis=1)
+        assignments[start : start + chunk_size] = local
+        picked = np.take_along_axis(distances, local[:, None], axis=1).reshape(-1)
+        inertia += float((picked + (block**2).sum(axis=1)).sum())
+    return assignments, inertia
+
+
+def minibatch_kmeans(
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    batch_size: int = 1024,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray, float]:
+    """Minibatch k-means with sampled centroid updates (Sculley, WWW 2010).
+
+    Each iteration draws ``batch_size`` points without replacement, assigns
+    them to the nearest centroid and moves every touched centroid towards
+    its batch mean with the counts-based learning rate ``b_c / n_c`` (the
+    running-mean update), so per-step cost is O(batch · k · F) regardless of
+    N.  Initialisation is k-means++ on one sampled batch.  The final
+    assignment (and inertia) is an exact chunked pass over all points.
+
+    A covering batch (``batch_size >= N``) delegates to :func:`kmeans`
+    verbatim — same rng draws, same result — which makes the sampled and
+    exact formulations interchangeable on small inputs.
+
+    Returns ``(assignments, centers, inertia)`` like :func:`kmeans`.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if batch_size >= n:
+        return kmeans(data, k, rng, max_iterations, tolerance)
+    if batch_size < k:
+        raise ValueError(
+            f"batch_size {batch_size} cannot seed {k} clusters; use >= k"
+        )
+
+    init_batch = data[rng.choice(n, size=batch_size, replace=False)]
+    centers = _kmeanspp_init(init_batch, k, rng)
+    counts = np.zeros(k)
+    for _ in range(max_iterations):
+        batch = data[rng.choice(n, size=batch_size, replace=False)]
+        assignments, _ = assign_to_centers(batch, centers)
+        batch_counts = np.bincount(assignments, minlength=k).astype(np.float64)
+        counts += batch_counts
+        new_centers = centers.copy()
+        for cluster in np.flatnonzero(batch_counts):
+            mean = batch[assignments == cluster].mean(axis=0)
+            rate = batch_counts[cluster] / counts[cluster]
+            new_centers[cluster] += rate * (mean - centers[cluster])
+        shift = float(np.abs(new_centers - centers).max())
+        centers = new_centers
+        if shift < tolerance:
+            break
+    assignments, inertia = assign_to_centers(data, centers)
     return assignments, centers, inertia

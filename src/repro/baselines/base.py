@@ -89,48 +89,101 @@ class BaselineMethod:
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #
+    def _sampling_config(self) -> tuple[tuple[int, ...] | None, int]:
+        """Validated ``(fanouts, batch_size)`` for neighbour-sampled training.
+
+        Raises ``ValueError`` when ``minibatch=True`` was requested on a
+        subclass that never declared the sampling knobs — the dispatch must
+        not silently fall back to (or crash inside) a configuration the
+        method does not actually support.
+        """
+        missing = [
+            name for name in ("fanouts", "batch_size") if not hasattr(self, name)
+        ]
+        if missing:
+            raise ValueError(
+                f"{type(self).__name__} requested minibatch training but does "
+                f"not declare {', '.join(missing)}; subclasses supporting "
+                f"neighbour sampling must set fanouts and batch_size in their "
+                f"constructor (see Vanilla)"
+            )
+        return self.fanouts, self.batch_size
+
     def _fit_and_predict(
-        self, model, features, graph: Graph, rng: np.random.Generator
+        self, model, features, graph: Graph, rng: np.random.Generator,
+        extra_loss=None,
     ):
         """Shared full-batch / minibatch dispatch for plain supervised
         baselines.
 
         Subclasses that support neighbour-sampled training (Vanilla,
-        RemoveR) set ``minibatch`` / ``fanouts`` / ``batch_size`` in their
-        constructors; training then runs through
+        RemoveR, KSMOTE, ...) set ``minibatch`` / ``fanouts`` /
+        ``batch_size`` in their constructors; training then runs through
         :func:`~repro.training.fit_minibatch` and evaluation through exact
         batched inference, so reported metrics are sampling-free.  Returns
         ``(history, logits)``.
         """
+        return self._fit_and_predict_arrays(
+            model,
+            features,
+            graph.adjacency,
+            graph.labels,
+            graph.train_mask,
+            graph.val_mask,
+            rng,
+            extra_loss=extra_loss,
+        )
+
+    def _fit_and_predict_arrays(
+        self,
+        model,
+        features,
+        adjacency,
+        labels: np.ndarray,
+        train_mask: np.ndarray,
+        val_mask: np.ndarray,
+        rng: np.random.Generator,
+        extra_loss=None,
+    ):
+        """:meth:`_fit_and_predict` on explicit arrays — for baselines that
+        train on a modified graph (KSMOTE's oversampled one).
+
+        ``extra_loss`` follows the active engine's signature:
+        ``(logits) -> Tensor`` full-batch,
+        ``(logits, batch_indices) -> Tensor`` minibatched.
+        """
         if getattr(self, "minibatch", False):
+            fanouts, batch_size = self._sampling_config()
             history = fit_minibatch(
                 model,
                 features,
-                graph.adjacency,
-                graph.labels,
-                graph.train_mask,
-                graph.val_mask,
+                adjacency,
+                labels,
+                train_mask,
+                val_mask,
                 epochs=self.epochs,
-                fanouts=self.fanouts,
-                batch_size=self.batch_size,
+                fanouts=fanouts,
+                batch_size=batch_size,
                 lr=self.lr,
                 patience=self.patience,
                 rng=rng,
+                extra_loss=extra_loss,
             )
             logits = predict_logits_batched(
-                model, features, graph.adjacency, batch_size=self.batch_size
+                model, features, adjacency, batch_size=batch_size
             )
         else:
             history = fit_binary_classifier(
                 model,
                 features,
-                graph.adjacency,
-                graph.labels,
-                graph.train_mask,
-                graph.val_mask,
+                adjacency,
+                labels,
+                train_mask,
+                val_mask,
                 epochs=self.epochs,
                 lr=self.lr,
                 patience=self.patience,
+                extra_loss=extra_loss,
             )
-            logits = predict_logits(model, features, graph.adjacency)
+            logits = predict_logits(model, features, adjacency)
         return history, logits

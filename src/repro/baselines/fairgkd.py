@@ -9,6 +9,15 @@ leakage lives, so matching their fused representation debiases the student.
 
 Following the paper's setup, we use the variant without sensitive attributes
 (FairGKD\\S): teachers are trained with plain cross-entropy.
+
+``minibatch=True`` scales every stage: both teachers train through
+:func:`~repro.training.fit_minibatch` (the MLP teacher is block-capable —
+it simply reads the seed rows of the input block), the fused teacher target
+is extracted with exact batched inference, and the student's distillation
+epochs run on neighbour-sampled batches over all nodes (cross-entropy on the
+batch's labelled members, representation matching on the whole batch).  A
+covering batch with exhaustive fanout reproduces the full-batch run to float
+precision; sampled runs stay within the usual two points.
 """
 
 from __future__ import annotations
@@ -17,31 +26,60 @@ import numpy as np
 
 from repro.baselines.base import BaselineMethod
 from repro.graph import Graph
+from repro.graph.sampling import NeighborSampler, is_block_sequence
 from repro.graph.utils import degree_vector
 from repro.gnnzoo import make_backbone
 from repro.nn import MLP, Linear, Module, binary_cross_entropy_with_logits
 from repro.optim import Adam
 from repro.tensor import Tensor, no_grad
 from repro.tensor import ops
-from repro.training import fit_binary_classifier, predict_logits
+from repro.training import (
+    DEFAULT_FANOUT,
+    embed_batched,
+    fit_binary_classifier,
+    fit_minibatch,
+    iter_minibatches,
+    predict_logits,
+    predict_logits_batched,
+)
 from repro.fairness.metrics import accuracy
 
 __all__ = ["FairGKD"]
 
 
 class _FeatureTeacher(Module):
-    """MLP teacher that ignores the graph structure."""
+    """MLP teacher that ignores the graph structure.
+
+    Block-capable so :func:`~repro.training.fit_minibatch` and the batched
+    inference helpers can drive it: with blocks, the "message passing" is a
+    no-op and the teacher just reads the seed rows (the first ``num_dst``
+    rows of the input block, per the block convention).
+    """
+
+    # Tells the sampled training path that no neighbour is ever read, so it
+    # can skip neighbour sampling entirely instead of gathering rows that
+    # embed_blocks would discard.
+    graph_free = True
 
     def __init__(self, in_dim: int, hidden_dim: int, rng: np.random.Generator) -> None:
         super().__init__()
         self.body = MLP([in_dim, hidden_dim, hidden_dim], rng)
         self.head = Linear(hidden_dim, 1, rng)
+        self.num_layers = 1
 
     def embed(self, features, adjacency):
         return self.body(features)
 
-    def forward(self, features, adjacency):
-        return self.head(self.embed(features, adjacency)).reshape(-1)
+    def embed_blocks(self, features, blocks):
+        seed_rows = np.arange(blocks[-1].num_dst)
+        return self.body(ops.gather(features, seed_rows))
+
+    def forward(self, features, support):
+        if is_block_sequence(support):
+            h = self.embed_blocks(features, list(support))
+        else:
+            h = self.embed(features, support)
+        return self.head(h).reshape(-1)
 
 
 class FairGKD(BaselineMethod):
@@ -54,31 +92,53 @@ class FairGKD(BaselineMethod):
     teacher_epochs:
         Training epochs per teacher (the expensive part — Fig. 8 shows
         FairGKD as the slowest baseline because of its two extra models).
+    minibatch, fanouts, batch_size:
+        Neighbour-sampled training of teachers and student (see the module
+        docstring).
     """
 
     name = "FairGKD\\S"
 
     def __init__(
-        self, distill_weight: float = 0.5, teacher_epochs: int | None = None, **kwargs
+        self,
+        distill_weight: float = 0.5,
+        teacher_epochs: int | None = None,
+        minibatch: bool = False,
+        fanouts: tuple[int, ...] | None = None,
+        batch_size: int = 512,
+        **kwargs,
     ) -> None:
         super().__init__(**kwargs)
         if distill_weight < 0:
             raise ValueError(f"distill_weight must be non-negative, got {distill_weight}")
         self.distill_weight = distill_weight
         self.teacher_epochs = teacher_epochs
+        self.minibatch = minibatch
+        self.fanouts = fanouts
+        self.batch_size = batch_size
 
     # ------------------------------------------------------------------ #
     def _train_logits(self, graph: Graph, rng: np.random.Generator):
         teacher_epochs = self.teacher_epochs or self.epochs
         features = Tensor(graph.features)
+        if self.minibatch:
+            # Validate the whole sampling configuration before any work:
+            # teacher training is the dominant cost, so a fanouts/num_layers
+            # mismatch must not surface only when the student starts.
+            fanouts, _ = self._sampling_config()
+            if fanouts is not None and len(fanouts) != self.num_layers:
+                raise ValueError(
+                    f"fanouts has {len(fanouts)} entries but the backbone "
+                    f"has {self.num_layers} layers"
+                )
+        # Drawn in *both* modes so weight initialisation consumes the same
+        # stream regardless of `minibatch` — a covering sampled run then
+        # starts from identical teacher/student weights.
+        train_rng = np.random.default_rng(int(rng.integers(2**63)))
 
         # Teacher A: features only.
         teacher_a = _FeatureTeacher(graph.num_features, self.hidden_dim, rng)
-        fit_binary_classifier(
-            teacher_a, features, graph.adjacency, graph.labels,
-            graph.train_mask, graph.val_mask,
-            epochs=teacher_epochs, lr=self.lr, patience=self.patience,
-        )
+        self._fit_teacher(teacher_a, features, graph, teacher_epochs, train_rng)
 
         # Teacher B: structure only — constant + normalised-degree features.
         degrees = degree_vector(graph.adjacency)
@@ -89,17 +149,21 @@ class FairGKD(BaselineMethod):
         teacher_b = make_backbone(
             self.backbone, 2, self.hidden_dim, rng, num_layers=self.num_layers
         )
-        fit_binary_classifier(
-            teacher_b, structure_feats, graph.adjacency, graph.labels,
-            graph.train_mask, graph.val_mask,
-            epochs=teacher_epochs, lr=self.lr, patience=self.patience,
-        )
+        self._fit_teacher(teacher_b, structure_feats, graph, teacher_epochs, train_rng)
 
         # Fused teacher target: average of the two representations.
         with no_grad():
             rep_a = teacher_a.embed(features, graph.adjacency).data
-            rep_b = teacher_b.embed(structure_feats, graph.adjacency).data
-        target = Tensor(0.5 * (rep_a + rep_b))
+            if self.minibatch:
+                rep_b = embed_batched(
+                    teacher_b,
+                    structure_feats,
+                    graph.adjacency,
+                    batch_size=self.batch_size,
+                )
+            else:
+                rep_b = teacher_b.embed(structure_feats, graph.adjacency).data
+        target = 0.5 * (rep_a + rep_b)
 
         # Student: full-input GNN with CE + representation distillation
         # through a learnable projection (aligns the student's and teachers'
@@ -109,6 +173,49 @@ class FairGKD(BaselineMethod):
             num_layers=self.num_layers,
         )
         projection = Linear(self.hidden_dim, self.hidden_dim, rng)
+        if self.minibatch:
+            logits = self._fit_student_minibatch(
+                student, projection, graph, target, train_rng
+            )
+        else:
+            logits = self._fit_student_fullbatch(
+                student, projection, graph, features, target
+            )
+        return logits, {"teacher_epochs": teacher_epochs}
+
+    # ------------------------------------------------------------------ #
+    def _fit_teacher(
+        self, teacher, teacher_features, graph: Graph, epochs: int,
+        train_rng: np.random.Generator,
+    ) -> None:
+        if self.minibatch:
+            fanouts, batch_size = self._sampling_config()
+            if fanouts is None:
+                fanouts = (DEFAULT_FANOUT,) * teacher.num_layers
+            if getattr(teacher, "graph_free", False):
+                # The MLP teacher never reads a neighbour row: a fanout of 1
+                # keeps the block machinery happy at near-zero sampling cost
+                # (and its output is neighbour-independent either way).
+                fanouts = (1,) * teacher.num_layers
+            fit_minibatch(
+                teacher, teacher_features, graph.adjacency, graph.labels,
+                graph.train_mask, graph.val_mask,
+                epochs=epochs, fanouts=fanouts[: teacher.num_layers],
+                batch_size=batch_size, lr=self.lr, patience=self.patience,
+                rng=train_rng,
+            )
+        else:
+            fit_binary_classifier(
+                teacher, teacher_features, graph.adjacency, graph.labels,
+                graph.train_mask, graph.val_mask,
+                epochs=epochs, lr=self.lr, patience=self.patience,
+            )
+
+    # ------------------------------------------------------------------ #
+    def _fit_student_fullbatch(
+        self, student, projection, graph: Graph, features, target: np.ndarray
+    ) -> np.ndarray:
+        target_tensor = Tensor(target)
         optimizer = Adam(student.parameters() + projection.parameters(), lr=self.lr)
         train_idx = np.where(graph.train_mask)[0]
         train_labels = graph.labels[train_idx].astype(np.float64)
@@ -119,9 +226,7 @@ class FairGKD(BaselineMethod):
             h = student.embed(features, graph.adjacency)
             logits = student.head(h).reshape(-1)
             ce = binary_cross_entropy_with_logits(logits[train_idx], train_labels)
-            distill = ops.mean(
-                ops.sum(ops.power(ops.sub(projection(h), target), 2.0), axis=1)
-            )
+            distill = ops.mean(ops.squared_distance(projection(h), target_tensor))
             loss = ops.add(ce, ops.mul(distill, self.distill_weight))
             loss.backward()
             optimizer.step()
@@ -139,5 +244,67 @@ class FairGKD(BaselineMethod):
                 if self.patience is not None and since_best > self.patience:
                     break
         student.load_state_dict(best_state)
-        logits = predict_logits(student, features, graph.adjacency)
-        return logits, {"teacher_epochs": teacher_epochs}
+        return predict_logits(student, features, graph.adjacency)
+
+    # ------------------------------------------------------------------ #
+    def _fit_student_minibatch(
+        self, student, projection, graph: Graph, target: np.ndarray,
+        train_rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Sampled distillation epochs (see the module docstring)."""
+        fanouts, batch_size = self._sampling_config()
+        if fanouts is None:
+            fanouts = (DEFAULT_FANOUT,) * self.num_layers
+        sampler = NeighborSampler(graph.adjacency, fanouts)
+        all_nodes = np.arange(graph.num_nodes, dtype=np.int64)
+        train_mask = np.asarray(graph.train_mask, dtype=bool)
+        val_indices = np.where(graph.val_mask)[0]
+        val_labels = graph.labels[graph.val_mask]
+        optimizer = Adam(student.parameters() + projection.parameters(), lr=self.lr)
+        best_val, best_state, since_best = -1.0, student.state_dict(), 0
+
+        for _ in range(self.epochs):
+            student.train()
+            for batch in iter_minibatches(all_nodes, batch_size, train_rng):
+                # Sorted batches keep the within-batch summation order
+                # deterministic; epoch randomness lives in the composition.
+                batch = np.sort(batch)
+                blocks = sampler.sample_blocks(batch, train_rng)
+                optimizer.zero_grad()
+                h = student.embed_blocks(
+                    Tensor(graph.features[blocks[0].src_nodes]), blocks
+                )
+                logits = student.head(h).reshape(-1)
+                batch_train = train_mask[batch]
+                if batch_train.any():
+                    ce = binary_cross_entropy_with_logits(
+                        logits[batch_train],
+                        graph.labels[batch[batch_train]].astype(np.float64),
+                    )
+                else:
+                    ce = Tensor(np.zeros(()))
+                distill = ops.mean(
+                    ops.squared_distance(projection(h), Tensor(target[batch]))
+                )
+                loss = ops.add(ce, ops.mul(distill, self.distill_weight))
+                loss.backward()
+                optimizer.step()
+
+            val_logits = predict_logits_batched(
+                student,
+                graph.features,
+                graph.adjacency,
+                nodes=val_indices,
+                batch_size=batch_size,
+            )
+            val_acc = accuracy((val_logits > 0).astype(np.int64), val_labels)
+            if val_acc > best_val:
+                best_val, best_state, since_best = val_acc, student.state_dict(), 0
+            else:
+                since_best += 1
+                if self.patience is not None and since_best > self.patience:
+                    break
+        student.load_state_dict(best_state)
+        return predict_logits_batched(
+            student, graph.features, graph.adjacency, batch_size=batch_size
+        )

@@ -15,6 +15,17 @@ to a GNN backbone as the paper does:
 
 Evaluation uses the original nodes only; synthetic nodes are appended after
 them and never enter any mask.
+
+``minibatch=True`` is the large-graph formulation: the cluster step runs
+:func:`~repro.analysis.minibatch_kmeans` (sampled centroid updates — no
+``(N, k)`` distance matrix), training runs neighbour-sampled through
+:func:`~repro.training.fit_minibatch` on the oversampled graph, and the
+parity regulariser is evaluated per batch (mean predicted probability of the
+batch's cluster members vs the batch mean — a sampled estimate of the
+full-graph penalty).  A covering batch with exhaustive fanout and
+``parity_weight=0`` reproduces the full-batch result to float precision
+(the cluster step delegates to exact k-means when the batch covers the
+data); the differential tests pin both contracts.
 """
 
 from __future__ import annotations
@@ -22,13 +33,12 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.analysis import kmeans
+from repro.analysis import kmeans, minibatch_kmeans
 from repro.baselines.base import BaselineMethod
 from repro.graph import Graph
 from repro.gnnzoo import make_backbone
 from repro.tensor import Tensor
 from repro.tensor import ops
-from repro.training import fit_binary_classifier, predict_logits
 
 __all__ = ["KSMOTE"]
 
@@ -47,6 +57,15 @@ class KSMOTE(BaselineMethod):
     max_synthetic_fraction:
         Cap on synthetic nodes as a fraction of N (guards degenerate
         clusterings from exploding the graph).
+    minibatch, fanouts, batch_size:
+        Neighbour-sampled training on the oversampled graph plus a
+        minibatch-k-means cluster step (see the module docstring).
+    kmeans_batch_size:
+        Batch size of the sampled cluster step (``None`` follows
+        ``batch_size``).  Cluster fidelity and training memory are separate
+        budgets: a larger k-means batch sharpens the pseudo-groups at
+        O(batch · k · F) cost per iteration without touching the training
+        engine's receptive field.
     """
 
     name = "KSMOTE"
@@ -57,6 +76,10 @@ class KSMOTE(BaselineMethod):
         parity_weight: float = 1.0,
         oversample: bool = True,
         max_synthetic_fraction: float = 0.5,
+        minibatch: bool = False,
+        fanouts: tuple[int, ...] | None = None,
+        batch_size: int = 512,
+        kmeans_batch_size: int | None = None,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
@@ -66,10 +89,23 @@ class KSMOTE(BaselineMethod):
         self.parity_weight = parity_weight
         self.oversample = oversample
         self.max_synthetic_fraction = max_synthetic_fraction
+        self.minibatch = minibatch
+        self.fanouts = fanouts
+        self.batch_size = batch_size
+        self.kmeans_batch_size = kmeans_batch_size
 
     # ------------------------------------------------------------------ #
     def _train_logits(self, graph: Graph, rng: np.random.Generator):
-        clusters, _, _ = kmeans(graph.features, self.num_clusters, rng)
+        if self.minibatch:
+            self._sampling_config()  # validate before any work
+            clusters, _, _ = minibatch_kmeans(
+                graph.features,
+                self.num_clusters,
+                rng,
+                batch_size=self.kmeans_batch_size or self.batch_size,
+            )
+        else:
+            clusters, _, _ = kmeans(graph.features, self.num_clusters, rng)
         if self.oversample:
             features, adjacency, labels, train_mask, n_synth = self._balance(
                 graph, clusters, rng
@@ -88,21 +124,22 @@ class KSMOTE(BaselineMethod):
         features_tensor = Tensor(features)
         extra_loss = None
         if self.parity_weight > 0:
-            extra_loss = self._parity_regulariser(clusters, graph.num_nodes, num_total)
-        fit_binary_classifier(
+            extra_loss = (
+                self._batch_parity_regulariser(clusters, graph.num_nodes)
+                if self.minibatch
+                else self._parity_regulariser(clusters, graph.num_nodes, num_total)
+            )
+        _, logits = self._fit_and_predict_arrays(
             model,
             features_tensor,
             adjacency,
             labels,
             train_mask,
             val_mask,
-            epochs=self.epochs,
-            lr=self.lr,
-            patience=self.patience,
+            rng,
             extra_loss=extra_loss,
         )
-        logits = predict_logits(model, features_tensor, adjacency)[: graph.num_nodes]
-        return logits, {
+        return logits[: graph.num_nodes], {
             "num_clusters": self.num_clusters,
             "synthetic_nodes": int(n_synth),
         }
@@ -137,14 +174,58 @@ class KSMOTE(BaselineMethod):
 
         return regulariser
 
+    def _batch_parity_regulariser(self, clusters: np.ndarray, num_real: int):
+        """Sampled parity penalty for minibatch training.
+
+        Per batch: squared deviation of each cluster's mean predicted
+        probability (over the cluster's *batch* members) from the batch mean
+        — the batch-local estimate of :meth:`_parity_regulariser`.  Synthetic
+        nodes (ids >= ``num_real``) carry no cluster and are excluded, as in
+        the full-batch penalty.
+        """
+        weight = self.parity_weight
+        num_clusters = self.num_clusters
+
+        def regulariser(logits, batch):
+            batch = np.asarray(batch)
+            real = batch < num_real
+            real_count = int(real.sum())
+            if real_count == 0:
+                return Tensor(np.zeros(()))
+            batch_clusters = np.where(real, clusters[np.minimum(batch, num_real - 1)], -1)
+            probs = ops.sigmoid(logits)
+            overall = np.where(real, 1.0 / real_count, 0.0)
+            mean_all = ops.sum(ops.mul(probs, Tensor(overall)))
+            penalty = None
+            for cluster in range(num_clusters):
+                members = batch_clusters == cluster
+                member_count = int(members.sum())
+                if member_count == 0:
+                    continue
+                mask = np.where(members, 1.0 / member_count, 0.0)
+                gap = ops.sub(ops.sum(ops.mul(probs, Tensor(mask))), mean_all)
+                term = ops.power(gap, 2.0)
+                penalty = term if penalty is None else ops.add(penalty, term)
+            if penalty is None:
+                return Tensor(np.zeros(()))
+            return ops.mul(penalty, weight)
+
+        return regulariser
+
     # ------------------------------------------------------------------ #
     def _balance(self, graph: Graph, clusters: np.ndarray, rng: np.random.Generator):
-        """SMOTE oversampling of minority classes inside each pseudo-group."""
+        """SMOTE oversampling of minority classes inside each pseudo-group.
+
+        Vectorized per cluster: all of a cluster's synthetic parents and
+        interpolation weights are drawn in one batch, so balancing a
+        100k-node graph is a handful of numpy calls per pseudo-group.
+        """
         synth_features: list[np.ndarray] = []
-        synth_labels: list[int] = []
-        synth_parents: list[int] = []
+        synth_labels: list[np.ndarray] = []
+        synth_parents: list[np.ndarray] = []
         train = graph.train_mask
         budget = int(self.max_synthetic_fraction * graph.num_nodes)
+        drawn = 0
 
         for cluster in range(self.num_clusters):
             members = np.where((clusters == cluster) & train)[0]
@@ -156,20 +237,24 @@ class KSMOTE(BaselineMethod):
                 continue
             minority = int(counts.argmin())
             pool = members[member_labels == minority]
-            deficit = int(counts.max() - counts.min())
-            for _ in range(deficit):
-                if len(synth_features) >= budget:
-                    break
-                a, b = rng.choice(pool, size=2, replace=pool.size < 2)
-                mix = rng.random()
-                synth_features.append(
-                    mix * graph.features[a] + (1.0 - mix) * graph.features[b]
-                )
-                synth_labels.append(minority)
-                synth_parents.append(int(a))
+            deficit = min(int(counts.max() - counts.min()), budget - drawn)
+            if deficit <= 0:
+                continue
+            first = rng.integers(0, pool.size, size=deficit)
+            # Offset by a nonzero amount mod pool size: a uniform same-class
+            # partner distinct from the first parent (pool.size >= 2 here).
+            second = (first + rng.integers(1, pool.size, size=deficit)) % pool.size
+            mix = rng.random(size=(deficit, 1))
+            parents_a, parents_b = pool[first], pool[second]
+            synth_features.append(
+                mix * graph.features[parents_a]
+                + (1.0 - mix) * graph.features[parents_b]
+            )
+            synth_labels.append(np.full(deficit, minority, dtype=np.int64))
+            synth_parents.append(parents_a.astype(np.int64))
+            drawn += deficit
 
-        n_synth = len(synth_features)
-        if n_synth == 0:
+        if drawn == 0:
             return (
                 graph.features,
                 graph.adjacency,
@@ -177,32 +262,39 @@ class KSMOTE(BaselineMethod):
                 graph.train_mask,
                 0,
             )
-        features = np.vstack([graph.features, np.array(synth_features)])
-        labels = np.concatenate([graph.labels, np.array(synth_labels, dtype=np.int64)])
-        train_mask = np.concatenate([graph.train_mask, np.ones(n_synth, dtype=bool)])
-        adjacency = self._extend_adjacency(graph.adjacency, synth_parents)
-        return features, adjacency, labels, train_mask, n_synth
+        features = np.vstack([graph.features, *synth_features])
+        labels = np.concatenate([graph.labels, *synth_labels])
+        train_mask = np.concatenate([graph.train_mask, np.ones(drawn, dtype=bool)])
+        adjacency = self._extend_adjacency(
+            graph.adjacency, np.concatenate(synth_parents)
+        )
+        return features, adjacency, labels, train_mask, drawn
 
     @staticmethod
     def _extend_adjacency(
-        adjacency: sp.csr_matrix, parents: list[int]
+        adjacency: sp.csr_matrix, parents: np.ndarray
     ) -> sp.csr_matrix:
-        """Wire each synthetic node to its parent's neighbourhood + parent."""
+        """Wire each synthetic node to its parent's neighbourhood + parent.
+
+        Fully vectorized over the parent array (one ``np.repeat`` edge
+        expansion), so extending a large graph is O(new edges) numpy work.
+        """
+        parents = np.asarray(parents, dtype=np.int64)
         num_real = adjacency.shape[0]
-        num_total = num_real + len(parents)
-        rows, cols = [], []
-        for offset, parent in enumerate(parents):
-            new_id = num_real + offset
-            start, stop = adjacency.indptr[parent], adjacency.indptr[parent + 1]
-            neighbors = adjacency.indices[start:stop]
-            for neighbor in neighbors:
-                rows.extend((new_id, int(neighbor)))
-                cols.extend((int(neighbor), new_id))
-            rows.extend((new_id, parent))
-            cols.extend((parent, new_id))
+        num_total = num_real + parents.size
+        new_ids = num_real + np.arange(parents.size, dtype=np.int64)
+        degrees = np.diff(adjacency.indptr)[parents]
+        total = int(degrees.sum())
+        # Every parent's neighbour list, expanded in one shot.
+        row_starts = np.concatenate(([0], np.cumsum(degrees)))[:-1]
+        within = np.arange(total) - np.repeat(row_starts, degrees)
+        neighbors = adjacency.indices[np.repeat(adjacency.indptr[parents], degrees) + within]
+        synth_of_edge = np.repeat(new_ids, degrees)
+        rows = np.concatenate([synth_of_edge, neighbors, new_ids, parents])
+        cols = np.concatenate([neighbors, synth_of_edge, parents, new_ids])
         coo = sp.coo_matrix(adjacency)
-        all_rows = np.concatenate([coo.row, np.array(rows, dtype=np.int64)])
-        all_cols = np.concatenate([coo.col, np.array(cols, dtype=np.int64)])
+        all_rows = np.concatenate([coo.row, rows])
+        all_cols = np.concatenate([coo.col, cols])
         data = np.ones(all_rows.size)
         out = sp.csr_matrix((data, (all_rows, all_cols)), shape=(num_total, num_total))
         out.sum_duplicates()

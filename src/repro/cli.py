@@ -21,6 +21,7 @@ Examples
         --backbone sage --minibatch --fanout 10,5 --batch-size 512
     repro --method fairwos --dataset scalefree --nodes 50000 \\
         --minibatch --cf-backend ann
+    repro --method ksmote --dataset scalefree --nodes 50000 --minibatch
     python -m repro audit --dataset occupation
     python -m repro table2 --datasets nba bail --backbones gcn --scale smoke
 

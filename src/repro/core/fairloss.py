@@ -12,17 +12,105 @@ every node's embedding towards the embeddings of its top-K counterfactuals:
 (Eq. 13–14; distances are squared L2, matching Eq. 33 of the convergence
 analysis).  The per-attribute disparities ``D_i`` are also returned as
 detached numpy values — they feed the λ update (Eq. 24).
+
+Two implementations coexist:
+
+* :func:`fair_representation_loss` / :func:`fair_representation_loss_minibatch`
+  are **fused**: one constant CSR gather-sum over all ``(I·K, N)``
+  counterfactual pairs, one squared-distance expansion
+  (``n_v + n_cf − 2 h_v·h_cf``) and one masked per-attribute mean — a fixed
+  handful of tensor ops regardless of I and K, which is what the fine-tune
+  phase's wall-time scales with (≥5x over the loop at I=8, K=10, N=5000;
+  see ``benchmarks/bench_fairloss.py``).
+* :func:`fair_representation_loss_reference` /
+  :func:`fair_representation_loss_minibatch_reference` are the original
+  ``I × K`` python loops, kept as the oracle the hypothesis parity harness
+  checks the fused path against (value and gradient to 1e-9).
 """
 
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.core.counterfactual import CounterfactualIndex
 from repro.tensor import Tensor
 from repro.tensor import ops
 
-__all__ = ["fair_representation_loss", "fair_representation_loss_minibatch"]
+__all__ = [
+    "fair_representation_loss",
+    "fair_representation_loss_minibatch",
+    "fair_representation_loss_reference",
+    "fair_representation_loss_minibatch_reference",
+]
+
+
+def _check_weights(weights, num_attrs: int) -> np.ndarray:
+    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+    if weights.shape != (num_attrs,):
+        raise ValueError(f"expected {num_attrs} weights, got shape {weights.shape}")
+    return weights
+
+
+def _masked_mean_scale(valid: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-attribute valid counts and the zero-safe ``valid / count`` scale.
+
+    Attributes without a single valid (node, counterfactual) pair get an
+    all-zero scale row, so they contribute exactly zero value *and* zero
+    gradient — matching the reference loop's ``continue``.
+    """
+    counts = valid.sum(axis=1)
+    inverse = np.divide(
+        1.0, counts, out=np.zeros_like(counts), where=counts > 0
+    )
+    return counts, valid * inverse[:, None]
+
+
+def _fused_pair_disparities(
+    representations: Tensor,
+    indices: np.ndarray,
+    anchor_rows: np.ndarray,
+    scale: np.ndarray,
+) -> Tensor:
+    """Per-attribute masked sums of top-K squared distances, fused.
+
+    ``indices`` is an ``(M, B, K)`` array of *local* rows into
+    ``representations``; ``anchor_rows`` the ``(B,)`` local rows of the
+    anchors; ``scale`` the constant ``(M, B)`` mask (``valid / count``).
+    Returns the ``(M,)`` tensor ``D_m = Σ_v scale[m, v] Σ_k ||h_v − h_cf||²``.
+
+    Instead of materialising the ``(M, B, K, d)`` difference tensor, the
+    squared distances are expanded as ``n_v + n_cf − 2 h_v·h_cf`` with
+    ``n = ||h||²`` row norms, and the over-K sums ``Σ_k n_cf`` /
+    ``Σ_k h_cf`` are taken by one constant CSR gather-sum matrix through
+    :func:`~repro.tensor.ops.spmm` — every intermediate is
+    O(M·B·K + M·B·d) and the whole loss is a fixed handful of tensor ops
+    regardless of M and K.
+    """
+    num_pairs, batch, top_k = indices.shape
+    gather_sum = sp.csr_matrix(
+        (
+            np.ones(indices.size),
+            indices.reshape(-1),
+            np.arange(0, indices.size + 1, top_k),
+        ),
+        shape=(num_pairs * batch, representations.shape[0]),
+    )
+    tiled_anchor = np.tile(anchor_rows, num_pairs)
+    norms = ops.sum(ops.mul(representations, representations), axis=1)
+    cf_sum = ops.spmm(gather_sum, representations)  # (M·B, d) = Σ_k h_cf
+    cf_norm_sum = ops.reshape(
+        ops.spmm(gather_sum, ops.reshape(norms, (-1, 1))), (-1,)
+    )  # (M·B,) = Σ_k n_cf
+    anchor_h = ops.gather(representations, tiled_anchor)
+    anchor_n = ops.gather(norms, tiled_anchor)
+    cross = ops.sum(ops.mul(cf_sum, anchor_h), axis=1)  # Σ_k h_v·h_cf
+    sq_sums = ops.add(
+        ops.sub(ops.mul(anchor_n, float(top_k)), ops.mul(cross, 2.0)),
+        cf_norm_sum,
+    )
+    masked = ops.mul(sq_sums, Tensor(scale.reshape(-1)))
+    return ops.sum(ops.reshape(masked, (num_pairs, batch)), axis=1)
 
 
 def fair_representation_loss(
@@ -30,7 +118,7 @@ def fair_representation_loss(
     counterfactuals: CounterfactualIndex,
     weights: np.ndarray,
 ) -> tuple[Tensor, np.ndarray]:
-    """Compute the weighted counterfactual-consistency loss.
+    """Compute the weighted counterfactual-consistency loss (fused).
 
     Parameters
     ----------
@@ -49,40 +137,25 @@ def fair_representation_loss(
         squared distance).  Invalid (node, attribute) pairs — those without a
         real counterfactual — contribute zero.
     """
-    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
     num_attrs, num_nodes, top_k = counterfactuals.indices.shape
-    if weights.shape != (num_attrs,):
-        raise ValueError(
-            f"expected {num_attrs} weights, got shape {weights.shape}"
-        )
+    weights = _check_weights(weights, num_attrs)
     if representations.shape[0] != num_nodes:
         raise ValueError(
             f"representations rows {representations.shape[0]} != index nodes {num_nodes}"
         )
+    if num_attrs == 0:
+        return Tensor(np.zeros(())), np.zeros(0)
 
-    disparities = np.zeros(num_attrs)
-    loss: Tensor | None = None
-    for attr in range(num_attrs):
-        valid_mask = counterfactuals.valid[attr].astype(np.float64)
-        valid_count = float(valid_mask.sum())
-        if valid_count == 0:
-            continue
-        attr_term: Tensor | None = None
-        for k in range(top_k):
-            cf_rows = ops.gather(representations, counterfactuals.indices[attr, :, k])
-            sq_dist = ops.sum(
-                ops.power(ops.sub(representations, cf_rows), 2.0), axis=1
-            )
-            masked = ops.mul(sq_dist, Tensor(valid_mask))
-            term = ops.div(ops.sum(masked), valid_count)
-            attr_term = term if attr_term is None else ops.add(attr_term, term)
-        disparities[attr] = float(attr_term.data)
-        if weights[attr] != 0.0:
-            weighted = ops.mul(attr_term, float(weights[attr]))
-            loss = weighted if loss is None else ops.add(loss, weighted)
-    if loss is None:
-        loss = Tensor(np.zeros(()))
-    return loss, disparities
+    valid = counterfactuals.valid.astype(np.float64)
+    _, scale = _masked_mean_scale(valid)
+    disparity_t = _fused_pair_disparities(
+        representations,
+        counterfactuals.indices,
+        np.arange(num_nodes, dtype=np.int64),
+        scale,
+    )
+    loss = ops.sum(ops.mul(disparity_t, Tensor(weights)))
+    return loss, disparity_t.data.copy()
 
 
 def fair_representation_loss_minibatch(
@@ -93,7 +166,7 @@ def fair_representation_loss_minibatch(
     seed_nodes: np.ndarray,
     attrs: np.ndarray | None = None,
 ) -> tuple[Tensor, np.ndarray, np.ndarray]:
-    """Batch estimate of :func:`fair_representation_loss`.
+    """Batch estimate of :func:`fair_representation_loss` (fused).
 
     The sampled fine-tune phase computes representations only for the union
     of a seed batch and its counterfactual targets; this function evaluates
@@ -131,10 +204,106 @@ def fair_representation_loss_minibatch(
         so callers can aggregate batch disparities into the epoch-level
         ``D_i`` with the correct weighting.
     """
-    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
     num_attrs, _, top_k = counterfactuals.indices.shape
-    if weights.shape != (num_attrs,):
-        raise ValueError(f"expected {num_attrs} weights, got shape {weights.shape}")
+    weights = _check_weights(weights, num_attrs)
+    seed_nodes = np.asarray(seed_nodes, dtype=np.int64).reshape(-1)
+    batch_nodes = np.asarray(batch_nodes, dtype=np.int64).reshape(-1)
+    if representations.shape[0] != seed_nodes.shape[0]:
+        raise ValueError(
+            f"representations rows {representations.shape[0]} != "
+            f"seed nodes {seed_nodes.shape[0]}"
+        )
+
+    def local(ids: np.ndarray) -> np.ndarray:
+        pos = np.searchsorted(seed_nodes, ids)
+        pos = np.minimum(pos, seed_nodes.size - 1)
+        if not np.array_equal(seed_nodes[pos], ids):
+            raise ValueError("node ids missing from seed_nodes")
+        return pos
+
+    disparities = np.zeros(num_attrs)
+    valid_counts = np.zeros(num_attrs)
+    attr_list = (
+        np.arange(num_attrs)
+        if attrs is None
+        else np.asarray(attrs, dtype=np.int64).reshape(-1)
+    )
+    if attr_list.size == 0 or batch_nodes.size == 0:
+        return Tensor(np.zeros(())), disparities, valid_counts
+
+    sub = np.ix_(attr_list, batch_nodes)
+    valid = counterfactuals.valid[sub].astype(np.float64)  # (M, B)
+    counts, scale = _masked_mean_scale(valid)
+    # Invalid rows self-point, so their target is the batch node itself
+    # (always present in seed_nodes); the scale then zeroes both their value
+    # and their gradient.  One vectorized id translation covers every
+    # (attribute, node, k) pair at once.
+    local_idx = local(counterfactuals.indices[sub].reshape(-1)).reshape(
+        (attr_list.size, batch_nodes.size, top_k)
+    )
+    disparity_t = _fused_pair_disparities(
+        representations, local_idx, local(batch_nodes), scale
+    )
+    loss = ops.sum(ops.mul(disparity_t, Tensor(weights[attr_list])))
+    disparities[attr_list] = disparity_t.data
+    valid_counts[attr_list] = counts
+    return loss, disparities, valid_counts
+
+
+# --------------------------------------------------------------------- #
+# reference (loop) oracles
+# --------------------------------------------------------------------- #
+def fair_representation_loss_reference(
+    representations: Tensor,
+    counterfactuals: CounterfactualIndex,
+    weights: np.ndarray,
+) -> tuple[Tensor, np.ndarray]:
+    """Original ``I × K`` loop implementation of
+    :func:`fair_representation_loss` — the parity harness's oracle."""
+    num_attrs, num_nodes, top_k = counterfactuals.indices.shape
+    weights = _check_weights(weights, num_attrs)
+    if representations.shape[0] != num_nodes:
+        raise ValueError(
+            f"representations rows {representations.shape[0]} != index nodes {num_nodes}"
+        )
+
+    disparities = np.zeros(num_attrs)
+    loss: Tensor | None = None
+    for attr in range(num_attrs):
+        valid_mask = counterfactuals.valid[attr].astype(np.float64)
+        valid_count = float(valid_mask.sum())
+        if valid_count == 0:
+            continue
+        attr_term: Tensor | None = None
+        for k in range(top_k):
+            cf_rows = ops.gather(representations, counterfactuals.indices[attr, :, k])
+            sq_dist = ops.sum(
+                ops.power(ops.sub(representations, cf_rows), 2.0), axis=1
+            )
+            masked = ops.mul(sq_dist, Tensor(valid_mask))
+            term = ops.div(ops.sum(masked), valid_count)
+            attr_term = term if attr_term is None else ops.add(attr_term, term)
+        disparities[attr] = float(attr_term.data)
+        if weights[attr] != 0.0:
+            weighted = ops.mul(attr_term, float(weights[attr]))
+            loss = weighted if loss is None else ops.add(loss, weighted)
+    if loss is None:
+        loss = Tensor(np.zeros(()))
+    return loss, disparities
+
+
+def fair_representation_loss_minibatch_reference(
+    representations: Tensor,
+    counterfactuals: CounterfactualIndex,
+    weights: np.ndarray,
+    batch_nodes: np.ndarray,
+    seed_nodes: np.ndarray,
+    attrs: np.ndarray | None = None,
+) -> tuple[Tensor, np.ndarray, np.ndarray]:
+    """Original loop implementation of
+    :func:`fair_representation_loss_minibatch` — the parity oracle."""
+    num_attrs, _, top_k = counterfactuals.indices.shape
+    weights = _check_weights(weights, num_attrs)
     seed_nodes = np.asarray(seed_nodes, dtype=np.int64).reshape(-1)
     batch_nodes = np.asarray(batch_nodes, dtype=np.int64).reshape(-1)
     if representations.shape[0] != seed_nodes.shape[0]:
@@ -168,9 +337,6 @@ def fair_representation_loss_minibatch(
             continue
         attr_term: Tensor | None = None
         for k in range(top_k):
-            # Invalid rows self-point, so their target is the batch node
-            # itself (always present in seed_nodes); the mask then zeroes
-            # both their value and their gradient.
             cf_rows = ops.gather(
                 representations, local(counterfactuals.indices[attr, batch_nodes, k])
             )

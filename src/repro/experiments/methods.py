@@ -96,9 +96,13 @@ def run_method(
         Full config override for the Fairwos run; when None the per-dataset
         entry of :data:`FAIRWOS_OVERRIDES` is applied.
     minibatch, fanouts, batch_size:
-        Neighbour-sampled training (large graphs).  Supported by "vanilla",
-        "remover" and "fairwos"; with ``fanouts`` set, the backbone depth
-        follows its length.  Other baselines reject ``minibatch=True``.
+        Neighbour-sampled training (large graphs).  Supported by every
+        method: "vanilla"/"remover" train through the shared
+        :func:`~repro.training.fit_minibatch` engine, "ksmote" adds a
+        minibatch-k-means cluster step, "fairrf"/"fairgkd" evaluate their
+        fairness terms on sampled batches, and "fairwos" runs all three
+        phases sampled.  With ``fanouts`` set, the backbone depth follows
+        its length.
     cf_backend, cf_refresh_epochs, finetune_minibatch:
         Fairwos fine-tune scaling knobs (see
         :class:`~repro.core.config.FairwosConfig`); ignored by baselines.
@@ -112,19 +116,15 @@ def run_method(
         "fairgkd": FairGKD,
     }
     if key in baseline_classes:
-        kwargs = dict(backbone=backbone, epochs=epochs, patience=patience)
-        if key in ("vanilla", "remover"):
-            kwargs.update(
-                minibatch=minibatch,
-                fanouts=fanouts,
-                batch_size=batch_size,
-                num_layers=len(fanouts) if fanouts else 1,
-            )
-        elif minibatch:
-            raise ValueError(
-                f"minibatch training is wired for 'vanilla', 'remover' and "
-                f"'fairwos', not {method!r}"
-            )
+        kwargs = dict(
+            backbone=backbone,
+            epochs=epochs,
+            patience=patience,
+            minibatch=minibatch,
+            fanouts=fanouts,
+            batch_size=batch_size,
+            num_layers=len(fanouts) if fanouts else 1,
+        )
         runner = baseline_classes[key](**kwargs)
         return runner.fit(graph, seed=seed)
     if key != "fairwos":

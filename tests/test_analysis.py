@@ -8,8 +8,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import (
+    assign_to_centers,
     correlation_with_vector,
     kmeans,
+    minibatch_kmeans,
     pca,
     pearson_correlation,
     tsne,
@@ -101,6 +103,68 @@ class TestKMeans:
         assert assignments.min() >= 0
         assert assignments.max() < k
         assert centers.shape == (k, 2)
+
+
+class TestMinibatchKMeans:
+    """Sampled-centroid k-means (KSMOTE's large-graph cluster step)."""
+
+    def _blobs(self, rng, per_cluster=120):
+        offsets = np.array([[12.0, 0.0], [-12.0, 0.0], [0.0, 12.0]])
+        return np.vstack(
+            [rng.normal(size=(per_cluster, 2)) + off for off in offsets]
+        )
+
+    def test_covering_batch_delegates_to_exact(self, rng):
+        data = rng.normal(size=(40, 3))
+        exact = kmeans(data, 3, np.random.default_rng(5))
+        sampled = minibatch_kmeans(data, 3, np.random.default_rng(5), batch_size=40)
+        np.testing.assert_array_equal(exact[0], sampled[0])
+        np.testing.assert_allclose(exact[1], sampled[1])
+        assert exact[2] == sampled[2]
+
+    def test_separates_obvious_clusters_sampled(self, rng):
+        data = self._blobs(rng)
+        assignments, _, _ = minibatch_kmeans(
+            data, 3, np.random.default_rng(0), batch_size=64
+        )
+        for start in (0, 120, 240):
+            block = assignments[start : start + 120]
+            assert len(np.unique(block)) == 1
+        assert len(np.unique(assignments)) == 3
+
+    def test_inertia_close_to_exact_on_separable_data(self, rng):
+        data = self._blobs(rng)
+        exact_inertia = kmeans(data, 3, np.random.default_rng(1))[2]
+        sampled_inertia = minibatch_kmeans(
+            data, 3, np.random.default_rng(1), batch_size=64
+        )[2]
+        assert sampled_inertia <= exact_inertia * 1.10
+
+    def test_deterministic_given_rng(self, rng):
+        data = rng.normal(size=(200, 4))
+        a = minibatch_kmeans(data, 4, np.random.default_rng(9), batch_size=32)
+        b = minibatch_kmeans(data, 4, np.random.default_rng(9), batch_size=32)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_allclose(a[1], b[1])
+
+    def test_validation(self, rng):
+        data = rng.normal(size=(20, 2))
+        with pytest.raises(ValueError):
+            minibatch_kmeans(data, 0, rng)
+        with pytest.raises(ValueError):
+            minibatch_kmeans(data, 2, rng, batch_size=0)
+        with pytest.raises(ValueError):
+            minibatch_kmeans(data, 8, rng, batch_size=4)
+        with pytest.raises(ValueError):
+            minibatch_kmeans(rng.normal(size=10), 2, rng)
+
+    def test_assign_to_centers_matches_direct_argmin(self, rng):
+        data = rng.normal(size=(100, 3))
+        centers = rng.normal(size=(5, 3))
+        assignments, inertia = assign_to_centers(data, centers, chunk_size=7)
+        distances = ((data[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        np.testing.assert_array_equal(assignments, distances.argmin(axis=1))
+        assert inertia == pytest.approx(distances.min(axis=1).sum())
 
 
 class TestTSNE:

@@ -1,0 +1,107 @@
+"""Golden-value regression fixture for the five comparison baselines.
+
+``golden_baselines.json`` pins seed-0 test accuracy / ΔSP / ΔEO for every
+baseline on the small causal graph, so refactors of the training engines,
+the fair losses or the sampling stack cannot *silently* shift the numbers
+Table 2 is built from — an intentional change must regenerate the fixture
+and show up in review.
+
+Regenerate after a deliberate behaviour change with::
+
+    PYTHONPATH=src python tests/test_baselines_golden.py
+
+The metrics are deterministic functions of the seed (all stochasticity goes
+through ``numpy.random.Generator``), so the comparison is tight (1e-9);
+accuracy/ΔSP/ΔEO are exact small-integer ratios, which also makes them
+robust to BLAS-level float variation across platforms.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.baselines import FairGKD, FairRF, KSMOTE, RemoveR, Vanilla
+from repro.datasets import BiasSpec, generate_biased_graph
+
+GOLDEN_PATH = Path(__file__).parent / "golden_baselines.json"
+# The run_method defaults — the budget Table 2 is actually produced at.
+BUDGET = dict(epochs=150, patience=30)
+BASELINES = {
+    "vanilla": Vanilla,
+    "remover": RemoveR,
+    "ksmote": KSMOTE,
+    "fairrf": FairRF,
+    "fairgkd": FairGKD,
+}
+
+
+def _golden_graph():
+    """The fixture graph — independent of conftest so the regeneration
+    script stays standalone."""
+    return generate_biased_graph(
+        num_nodes=250,
+        num_features=12,
+        average_degree=10,
+        spec=BiasSpec(
+            label_bias=0.2,
+            proxy_strength=1.0,
+            group_homophily=2.0,
+            label_signal_strength=0.5,
+        ),
+        seed=7,
+        name="golden",
+    ).standardized()
+
+
+def _compute_metrics() -> dict[str, dict[str, float]]:
+    graph = _golden_graph()
+    out: dict[str, dict[str, float]] = {}
+    for key, cls in BASELINES.items():
+        result = cls(**BUDGET).fit(graph, seed=0)
+        out[key] = {
+            "accuracy": float(result.test.accuracy),
+            "delta_sp": float(result.test.delta_sp),
+            "delta_eo": float(result.test.delta_eo),
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"{GOLDEN_PATH} missing — regenerate with "
+        f"`PYTHONPATH=src python {Path(__file__).name}`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def current() -> dict:
+    return _compute_metrics()
+
+
+class TestGoldenBaselines:
+    def test_every_baseline_pinned(self, golden):
+        assert set(golden) == set(BASELINES)
+
+    @pytest.mark.parametrize("method", sorted(BASELINES))
+    def test_metrics_match_golden(self, method, golden, current):
+        for metric, pinned in golden[method].items():
+            actual = current[method][metric]
+            assert actual == pytest.approx(pinned, abs=1e-9), (
+                f"{method}.{metric} drifted: golden {pinned!r} vs current "
+                f"{actual!r}.  If the change is intentional, regenerate "
+                f"tests/golden_baselines.json (see module docstring)."
+            )
+
+
+if __name__ == "__main__":
+    metrics = _compute_metrics()
+    GOLDEN_PATH.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    for name, values in metrics.items():
+        print(f"  {name:8s} {values}")

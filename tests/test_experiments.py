@@ -59,18 +59,16 @@ class TestMethodRegistry:
         with pytest.raises(ValueError, match="unknown method"):
             run_method("mystery", small_graph)
 
-    @pytest.mark.parametrize("method", ["vanilla", "remover", "fairwos"])
+    @pytest.mark.parametrize(
+        "method", ["vanilla", "remover", "ksmote", "fairrf", "fairgkd", "fairwos"]
+    )
     def test_run_method_minibatch(self, method, small_graph):
+        """Every Table II method accepts neighbour-sampled training."""
         result = run_method(
             method, small_graph, epochs=25, finetune_epochs=2, patience=5,
             minibatch=True, fanouts=(10,), batch_size=64,
         )
         assert 0.0 <= result.test.accuracy <= 1.0
-
-    @pytest.mark.parametrize("method", ["ksmote", "fairrf", "fairgkd"])
-    def test_run_method_minibatch_rejected(self, method, small_graph):
-        with pytest.raises(ValueError, match="minibatch"):
-            run_method(method, small_graph, minibatch=True)
 
     def test_run_method_fairwos_ann_backend(self, small_graph):
         result = run_method(

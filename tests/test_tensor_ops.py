@@ -218,6 +218,65 @@ class TestReductionsAndShapes:
         rhs = float(np.sum(a.data * ops.scatter_add(b, idx, 5).data))
         assert lhs == pytest.approx(rhs)
 
+    def test_gather_multidim_indices(self, rng):
+        # A batched (I, N, K) index pulls (I, N, K, d) rows.
+        a = _t(rng, 6, 3)
+        idx = rng.integers(0, 6, size=(2, 4, 5))
+        out = ops.gather(a, idx)
+        assert out.shape == (2, 4, 5, 3)
+        np.testing.assert_allclose(out.data, a.data[idx])
+        assert gradcheck(
+            lambda a: ops.sum(ops.power(ops.gather(a, idx), 2.0)), [a]
+        )
+
+    def test_gather_large_scatter_path_matches_add_at(self, rng):
+        # Above the threshold the adjoint routes through a sparse matmul;
+        # it must equal the np.add.at scatter exactly.
+        from repro.tensor.ops import _SCATTER_SPMM_THRESHOLD, _scatter_rows
+
+        rows = _SCATTER_SPMM_THRESHOLD + 17
+        idx = rng.integers(0, 50, size=rows)
+        grad = rng.normal(size=(rows, 4))
+        expected = np.zeros((50, 4))
+        np.add.at(expected, idx, grad)
+        np.testing.assert_allclose(_scatter_rows(idx, grad, (50, 4)), expected)
+
+    def test_gather_large_scatter_path_1d(self, rng):
+        from repro.tensor.ops import _SCATTER_SPMM_THRESHOLD, _scatter_rows
+
+        rows = _SCATTER_SPMM_THRESHOLD + 5
+        idx = rng.integers(0, 30, size=(rows // 5, 5))
+        grad = rng.normal(size=idx.shape)
+        expected = np.zeros(30)
+        np.add.at(expected, idx, grad)
+        np.testing.assert_allclose(_scatter_rows(idx, grad, (30,)), expected)
+
+    def test_expand_dims(self, rng):
+        a = _t(rng, 3, 4)
+        out = ops.expand_dims(a, (0, 2))
+        assert out.shape == (1, 3, 1, 4)
+        assert gradcheck(
+            lambda a: ops.sum(ops.power(ops.expand_dims(a, 1), 2.0)), [a]
+        )
+
+    def test_squared_distance_value(self, rng):
+        a, b = _t(rng, 4, 3), _t(rng, 4, 3)
+        np.testing.assert_allclose(
+            ops.squared_distance(a, b).data, ((a.data - b.data) ** 2).sum(axis=-1)
+        )
+
+    def test_squared_distance_gradcheck(self, rng):
+        a, b = _t(rng, 4, 3), _t(rng, 4, 3)
+        assert gradcheck(lambda a, b: ops.sum(ops.squared_distance(a, b)), [a, b])
+
+    def test_squared_distance_broadcast_gradcheck(self, rng):
+        # The fair-loss shape: (1, N, 1, d) anchors vs (I, N, K, d) targets.
+        a = Tensor(rng.normal(size=(1, 3, 1, 2)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3, 4, 2)), requires_grad=True)
+        out = ops.squared_distance(a, b)
+        assert out.shape == (2, 3, 4)
+        assert gradcheck(lambda a, b: ops.sum(ops.squared_distance(a, b)), [a, b])
+
 
 # --------------------------------------------------------------------- #
 # softmax family
