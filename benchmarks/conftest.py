@@ -11,6 +11,7 @@ faithful shapes), ``paper`` (the full 10-seed protocol; hours on CPU).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -37,6 +38,26 @@ def record_output(name: str, text: str) -> None:
     print(f"\n{text}\n")
     OUTPUT_DIR.mkdir(exist_ok=True)
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_json(name: str, payload: dict) -> None:
+    """Persist machine-readable bench results as ``BENCH_<name>.json``.
+
+    CI uploads these as workflow artifacts (so the bench trajectory is
+    inspectable per run) and ``check_bench_regression.py`` gates the slow
+    job on them against the checked-in ``bench_baseline.json``.  The active
+    ``scale`` is stamped into the payload so the regression check only
+    compares like with like.
+    """
+    payload = {
+        "bench": name,
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "quick").lower(),
+        **payload,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"BENCH_{name}.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture

@@ -8,7 +8,11 @@ offline, and the algorithms are small enough to implement exactly.
 from repro.analysis.pca import pca
 from repro.analysis.kmeans import assign_to_centers, kmeans, minibatch_kmeans
 from repro.analysis.tsne import tsne
-from repro.analysis.correlation import pearson_correlation, correlation_with_vector
+from repro.analysis.correlation import (
+    StreamingCorrelation,
+    correlation_with_vector,
+    pearson_correlation,
+)
 from repro.analysis.embeddings import deepwalk_embeddings
 
 __all__ = [
@@ -17,6 +21,7 @@ __all__ = [
     "minibatch_kmeans",
     "assign_to_centers",
     "tsne",
+    "StreamingCorrelation",
     "pearson_correlation",
     "correlation_with_vector",
     "deepwalk_embeddings",

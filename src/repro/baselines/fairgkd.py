@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.baselines.base import BaselineMethod
 from repro.graph import Graph
-from repro.graph.sampling import NeighborSampler, is_block_sequence
+from repro.graph.sampling import is_block_sequence
 from repro.graph.utils import degree_vector
 from repro.gnnzoo import make_backbone
 from repro.nn import MLP, Linear, Module, binary_cross_entropy_with_logits
@@ -35,12 +35,12 @@ from repro.tensor import Tensor, no_grad
 from repro.tensor import ops
 from repro.training import (
     DEFAULT_FANOUT,
+    MinibatchEngine,
+    TrainStep,
     embed_batched,
     fit_binary_classifier,
     fit_minibatch,
-    iter_minibatches,
     predict_logits,
-    predict_logits_batched,
 )
 from repro.fairness.metrics import accuracy
 
@@ -106,6 +106,7 @@ class FairGKD(BaselineMethod):
         minibatch: bool = False,
         fanouts: tuple[int, ...] | None = None,
         batch_size: int = 512,
+        cache_epochs: int = 1,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
@@ -116,6 +117,7 @@ class FairGKD(BaselineMethod):
         self.minibatch = minibatch
         self.fanouts = fanouts
         self.batch_size = batch_size
+        self.cache_epochs = cache_epochs
 
     # ------------------------------------------------------------------ #
     def _train_logits(self, graph: Graph, rng: np.random.Generator):
@@ -202,7 +204,7 @@ class FairGKD(BaselineMethod):
                 graph.train_mask, graph.val_mask,
                 epochs=epochs, fanouts=fanouts[: teacher.num_layers],
                 batch_size=batch_size, lr=self.lr, patience=self.patience,
-                rng=train_rng,
+                rng=train_rng, cache_epochs=self.cache_epochs,
             )
         else:
             fit_binary_classifier(
@@ -253,58 +255,48 @@ class FairGKD(BaselineMethod):
     ) -> np.ndarray:
         """Sampled distillation epochs (see the module docstring)."""
         fanouts, batch_size = self._sampling_config()
-        if fanouts is None:
-            fanouts = (DEFAULT_FANOUT,) * self.num_layers
-        sampler = NeighborSampler(graph.adjacency, fanouts)
-        all_nodes = np.arange(graph.num_nodes, dtype=np.int64)
+        engine = MinibatchEngine(
+            student,
+            graph.features,
+            graph.adjacency,
+            fanouts=fanouts,
+            batch_size=batch_size,
+            cache_epochs=self.cache_epochs,
+            optimizer=Adam(
+                student.parameters() + projection.parameters(), lr=self.lr
+            ),
+        )
         train_mask = np.asarray(graph.train_mask, dtype=bool)
         val_indices = np.where(graph.val_mask)[0]
-        val_labels = graph.labels[graph.val_mask]
-        optimizer = Adam(student.parameters() + projection.parameters(), lr=self.lr)
-        best_val, best_state, since_best = -1.0, student.state_dict(), 0
 
-        for _ in range(self.epochs):
-            student.train()
-            for batch in iter_minibatches(all_nodes, batch_size, train_rng):
-                # Sorted batches keep the within-batch summation order
-                # deterministic; epoch randomness lives in the composition.
-                batch = np.sort(batch)
-                blocks = sampler.sample_blocks(batch, train_rng)
-                optimizer.zero_grad()
-                h = student.embed_blocks(
-                    Tensor(graph.features[blocks[0].src_nodes]), blocks
+        def loss_fn(step: TrainStep) -> Tensor:
+            batch, h = step.batch, step.output
+            logits = student.head(h).reshape(-1)
+            batch_train = train_mask[batch]
+            if batch_train.any():
+                ce = binary_cross_entropy_with_logits(
+                    logits[batch_train],
+                    graph.labels[batch[batch_train]].astype(np.float64),
                 )
-                logits = student.head(h).reshape(-1)
-                batch_train = train_mask[batch]
-                if batch_train.any():
-                    ce = binary_cross_entropy_with_logits(
-                        logits[batch_train],
-                        graph.labels[batch[batch_train]].astype(np.float64),
-                    )
-                else:
-                    ce = Tensor(np.zeros(()))
-                distill = ops.mean(
-                    ops.squared_distance(projection(h), Tensor(target[batch]))
-                )
-                loss = ops.add(ce, ops.mul(distill, self.distill_weight))
-                loss.backward()
-                optimizer.step()
-
-            val_logits = predict_logits_batched(
-                student,
-                graph.features,
-                graph.adjacency,
-                nodes=val_indices,
-                batch_size=batch_size,
-            )
-            val_acc = accuracy((val_logits > 0).astype(np.int64), val_labels)
-            if val_acc > best_val:
-                best_val, best_state, since_best = val_acc, student.state_dict(), 0
             else:
-                since_best += 1
-                if self.patience is not None and since_best > self.patience:
-                    break
-        student.load_state_dict(best_state)
-        return predict_logits_batched(
-            student, graph.features, graph.adjacency, batch_size=batch_size
+                ce = Tensor(np.zeros(()))
+            distill = ops.mean(
+                ops.squared_distance(projection(h), Tensor(target[batch]))
+            )
+            return ops.add(ce, ops.mul(distill, self.distill_weight))
+
+        engine.run(
+            np.arange(graph.num_nodes, dtype=np.int64),
+            self.epochs,
+            loss_fn,
+            train_rng,
+            val_nodes=val_indices,
+            val_labels=graph.labels[val_indices],
+            checkpoint="best",
+            patience=self.patience,
+            forward="embed",
+            # Sorted batches keep the within-batch summation order
+            # deterministic; epoch randomness lives in the composition.
+            sort_batches=True,
         )
+        return engine.predict()

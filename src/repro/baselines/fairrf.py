@@ -11,9 +11,14 @@ The related features come from ``graph.related_feature_indices``.
 
 ``minibatch=True`` evaluates both the utility and the correlation terms on
 neighbour-sampled batches drawn over *all* nodes (cross-entropy on the
-batch's labelled members, correlations on the whole batch); the per-epoch
-feature-weight update uses the batch-size-weighted mean of the per-batch
-squared correlations.  A single covering batch with exhaustive fanout
+batch's labelled members, correlations on the whole batch), running on the
+shared :class:`~repro.training.MinibatchEngine`.  The per-epoch
+feature-weight update uses a streaming running-moment (Welford/Chan)
+estimator pooled across the epoch's batches
+(:class:`~repro.analysis.StreamingCorrelation`) rather than the mean of
+per-batch squared correlations — the latter is biased upward at small
+batches (``E[corr²_batch] > corr²_full``), which made the weight update
+chase sampling noise.  A single covering batch with exhaustive fanout
 computes exactly the full-batch objective, which the differential tests pin
 to float precision; genuinely sampled runs stay within the usual two points
 of the full-batch metrics.
@@ -23,21 +28,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import StreamingCorrelation
 from repro.baselines.base import BaselineMethod
 from repro.core.weights import WeightUpdater
 from repro.graph import Graph
-from repro.graph.sampling import NeighborSampler
 from repro.gnnzoo import make_backbone
 from repro.nn import binary_cross_entropy_with_logits
 from repro.optim import Adam
 from repro.tensor import Tensor
 from repro.tensor import ops
-from repro.training import (
-    DEFAULT_FANOUT,
-    iter_minibatches,
-    predict_logits,
-    predict_logits_batched,
-)
+from repro.training import MinibatchEngine, TrainStep, predict_logits
 from repro.fairness.metrics import accuracy
 
 __all__ = ["FairRF"]
@@ -75,6 +75,7 @@ class FairRF(BaselineMethod):
         minibatch: bool = False,
         fanouts: tuple[int, ...] | None = None,
         batch_size: int = 512,
+        cache_epochs: int = 1,
         **kwargs,
     ) -> None:
         super().__init__(**kwargs)
@@ -84,6 +85,7 @@ class FairRF(BaselineMethod):
         self.minibatch = minibatch
         self.fanouts = fanouts
         self.batch_size = batch_size
+        self.cache_epochs = cache_epochs
 
     def _train_logits(self, graph: Graph, rng: np.random.Generator):
         related = graph.related_feature_indices
@@ -167,70 +169,64 @@ class FairRF(BaselineMethod):
     ) -> np.ndarray:
         """Neighbour-sampled FairRF epochs (see the module docstring)."""
         fanouts, batch_size = self._sampling_config()
-        if fanouts is None:
-            fanouts = (DEFAULT_FANOUT,) * self.num_layers
-        sampler = NeighborSampler(graph.adjacency, fanouts)
-        all_nodes = np.arange(graph.num_nodes, dtype=np.int64)
+        engine = MinibatchEngine(
+            model,
+            graph.features,
+            graph.adjacency,
+            fanouts=fanouts,
+            batch_size=batch_size,
+            cache_epochs=self.cache_epochs,
+            lr=self.lr,
+        )
         train_mask = np.asarray(graph.train_mask, dtype=bool)
         val_indices = np.where(graph.val_mask)[0]
-        val_labels = graph.labels[graph.val_mask]
-        optimizer = Adam(model.parameters(), lr=self.lr)
-        best_val, best_state, since_best = -1.0, model.state_dict(), 0
+        column_matrix = np.stack(columns, axis=1)
+        moments = StreamingCorrelation(len(columns))
 
-        for _ in range(self.epochs):
-            model.train()
-            corr_sums = np.zeros(len(columns))
-            nodes_seen = 0
-            for batch in iter_minibatches(all_nodes, batch_size, rng):
-                # Sorted batches give a deterministic within-batch summation
-                # order (epoch randomness lives in the batch composition), so
-                # a covering batch reproduces the full-batch epoch exactly.
-                batch = np.sort(batch)
-                blocks = sampler.sample_blocks(batch, rng)
-                optimizer.zero_grad()
-                logits = model(Tensor(graph.features[blocks[0].src_nodes]), blocks)
-                batch_train = train_mask[batch]
-                if batch_train.any():
-                    loss = binary_cross_entropy_with_logits(
-                        logits[batch_train],
-                        graph.labels[batch[batch_train]].astype(np.float64),
-                    )
-                else:
-                    loss = Tensor(np.zeros(()))
-                probs = ops.sigmoid(logits)
-                correlations = np.zeros(len(columns))
-                reg = None
-                for j, column in enumerate(columns):
-                    corr_sq = _differentiable_correlation(probs, column[batch])
-                    if corr_sq is None:
-                        continue
-                    correlations[j] = float(corr_sq.data)
-                    term = ops.mul(corr_sq, float(updater.weights[j]))
-                    reg = term if reg is None else ops.add(reg, term)
-                if reg is not None:
-                    loss = ops.add(loss, ops.mul(reg, self.beta))
-                loss.backward()
-                optimizer.step()
-                corr_sums += correlations * batch.size
-                nodes_seen += batch.size
-            updater.update(corr_sums / max(nodes_seen, 1))
+        def on_epoch_start(epoch: int) -> None:
+            nonlocal moments
+            moments = StreamingCorrelation(len(columns))
 
-            val_logits = predict_logits_batched(
-                model,
-                graph.features,
-                graph.adjacency,
-                nodes=val_indices,
-                batch_size=batch_size,
-            )
-            val_acc = accuracy((val_logits > 0).astype(np.int64), val_labels)
-            if val_acc > best_val:
-                best_val, best_state, since_best = val_acc, model.state_dict(), 0
+        def loss_fn(step: TrainStep) -> Tensor:
+            batch, logits = step.batch, step.output
+            batch_train = train_mask[batch]
+            if batch_train.any():
+                loss = binary_cross_entropy_with_logits(
+                    logits[batch_train],
+                    graph.labels[batch[batch_train]].astype(np.float64),
+                )
             else:
-                since_best += 1
-                if self.patience is not None and since_best > self.patience:
-                    break
+                loss = Tensor(np.zeros(()))
+            probs = ops.sigmoid(logits)
+            reg = None
+            for j, column in enumerate(columns):
+                corr_sq = _differentiable_correlation(probs, column[batch])
+                if corr_sq is None:
+                    continue
+                term = ops.mul(corr_sq, float(updater.weights[j]))
+                reg = term if reg is None else ops.add(reg, term)
+            if reg is not None:
+                loss = ops.add(loss, ops.mul(reg, self.beta))
+            moments.update(probs.data, column_matrix[batch])
+            return loss
 
-        model.load_state_dict(best_state)
-        return predict_logits_batched(
-            model, graph.features, graph.adjacency, batch_size=batch_size
+        def on_epoch_end(epoch: int) -> None:
+            updater.update(moments.squared_correlations())
+
+        engine.run(
+            np.arange(graph.num_nodes, dtype=np.int64),
+            self.epochs,
+            loss_fn,
+            rng,
+            val_nodes=val_indices,
+            val_labels=graph.labels[val_indices],
+            checkpoint="best",
+            patience=self.patience,
+            # Sorted batches give a deterministic within-batch summation
+            # order (epoch randomness lives in the batch composition), so
+            # a covering batch reproduces the full-batch epoch exactly.
+            sort_batches=True,
+            on_epoch_start=on_epoch_start,
+            on_epoch_end=on_epoch_end,
         )
+        return engine.predict()

@@ -97,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--batch-size", type=int, default=512)
     run_parser.add_argument(
+        "--cache-epochs",
+        type=int,
+        default=1,
+        metavar="R",
+        help="reuse sampled minibatch structure for R epochs before "
+        "resampling (1 = fresh sampling every epoch)",
+    )
+    run_parser.add_argument(
         "--nodes",
         type=int,
         default=20_000,
@@ -172,6 +180,7 @@ def _cmd_run(args) -> str:
         minibatch=args.minibatch,
         fanouts=args.fanout,
         batch_size=args.batch_size,
+        cache_epochs=args.cache_epochs,
         cf_backend=args.cf_backend,
         cf_refresh_epochs=args.cf_refresh,
     )
@@ -184,6 +193,8 @@ def _cmd_run(args) -> str:
             f", minibatch fanout={','.join(map(str, fanouts))} "
             f"batch={args.batch_size}"
         )
+        if args.cache_epochs != 1:
+            mode += f" cache-epochs={args.cache_epochs}"
     if args.method == "fairwos" and args.cf_backend != "exact":
         mode += f", cf-backend={args.cf_backend}"
     return (

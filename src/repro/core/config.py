@@ -30,7 +30,22 @@ class FairwosConfig:
     phases (and every inference pass) to the neighbour-sampled engine of
     :mod:`repro.training.minibatch`, bounding memory by ``batch_size`` and
     ``fanouts`` instead of the graph size.  ``fanouts`` has one entry per
-    backbone layer (default: 10 per layer).
+    backbone layer (default: 10 per layer).  ``cache_epochs`` sets the
+    engine's epoch-level sampling cache window: batch composition and
+    sampled blocks are refreshed every that many epochs and replayed in
+    between (1 = fresh sampling every epoch; see
+    :class:`~repro.graph.sampling.EpochBlockCache`).  The sampled
+    fine-tune additionally invalidates the cache whenever the
+    counterfactual index refreshes, so cached seed sets never reference a
+    stale index.  Note that the cached structure includes everything the
+    seed sets were built from — with ``cf_attrs_per_step`` subsampling,
+    the attribute draw is part of it, so replayed epochs revisit the same
+    attribute subset: the ``I/M`` rescale stays unbiased per *window*
+    rather than per epoch, and attributes outside a window's draw get no
+    fair-loss gradient until the next refresh.  The window is bounded by
+    ``min(cache_epochs, resolved_cf_refresh())`` because every index
+    refresh invalidates the cache; keep ``cache_epochs`` at or below the
+    refresh cadence when combining both knobs.
 
     The fine-tuning phase scales through three further knobs:
     ``finetune_minibatch`` runs the fairness fine-tune itself on sampled
@@ -76,6 +91,7 @@ class FairwosConfig:
     minibatch: bool = False
     fanouts: tuple[int, ...] | None = None
     batch_size: int = 512
+    cache_epochs: int = 1
     finetune_minibatch: bool | None = None
     cf_backend: str = "exact"
     cf_backend_options: dict | None = None
@@ -103,6 +119,8 @@ class FairwosConfig:
             raise ValueError("max_pseudo_attributes must be >= 1 or None")
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.cache_epochs < 1:
+            raise ValueError(f"cache_epochs must be >= 1, got {self.cache_epochs}")
         if isinstance(self.cf_backend, str) and self.cf_backend.lower() not in (
             "exact",
             "ann",

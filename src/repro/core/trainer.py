@@ -33,15 +33,15 @@ from repro.fairness import EvalResult, evaluate_predictions
 from repro.fairness.metrics import accuracy
 from repro.gnnzoo import make_backbone
 from repro.graph import Graph
-from repro.graph.sampling import NeighborSampler
 from repro.nn import binary_cross_entropy_with_logits
 from repro.optim import Adam
 from repro.tensor import Tensor, no_grad
 from repro.training import (
+    MinibatchEngine,
+    TrainStep,
     embed_batched,
     fit_binary_classifier,
     fit_minibatch,
-    iter_minibatches,
     predict_logits,
     predict_logits_batched,
 )
@@ -127,6 +127,7 @@ class FairwosTrainer:
                 minibatch=config.minibatch,
                 fanout=config.resolved_fanouts()[0],
                 batch_size=config.batch_size,
+                cache_epochs=config.cache_epochs,
                 rng=rng,
             )
             pseudo_raw = self.encoder.extract(features, adjacency)
@@ -172,6 +173,7 @@ class FairwosTrainer:
                 weight_decay=config.weight_decay,
                 patience=config.patience,
                 rng=rng,
+                cache_epochs=config.cache_epochs,
             )
         else:
             fit_binary_classifier(
@@ -338,126 +340,133 @@ class FairwosTrainer:
     ) -> float:
         """Neighbour-sampled fine-tune: lines 5–13 on seed batches.
 
-        Every step draws a seed batch over *all* nodes, extends it with the
-        batch's counterfactual targets, folds the union's sampled blocks, and
-        optimises the utility loss on the batch's labelled members plus the
-        weighted fair loss on the batch's counterfactual pairs.  Peak memory
-        is bounded by the batch receptive field; the counterfactual index is
-        refreshed every ``resolved_cf_refresh()`` epochs from exact batched
-        embeddings.  The validation floor / best-state checkpoint contract
-        mirrors the full-batch :meth:`_finetune`.
+        Runs on :class:`~repro.training.MinibatchEngine`: every step draws a
+        seed batch over *all* nodes, extends it with the batch's
+        counterfactual targets (the engine's ``seed_fn`` hook), folds the
+        union's sampled blocks, and optimises the utility loss on the
+        batch's labelled members plus the weighted fair loss on the batch's
+        counterfactual pairs.  Peak memory is bounded by the batch receptive
+        field; the counterfactual index is refreshed every
+        ``resolved_cf_refresh()`` epochs from exact batched embeddings (an
+        ``on_epoch_start`` callback that also invalidates the engine's
+        sampling cache, so cached seed sets never point at stale targets).
+        The validation floor / checkpoint contract is the engine's
+        ``"floor"`` policy, mirroring the full-batch :meth:`_finetune`.
+
+        With ``cache_epochs > 1`` a replayed epoch reuses the refresh
+        epoch's recorded structure *including* its ``cf_attrs_per_step``
+        attribute draws (they determine the seed sets the blocks were
+        sampled for); the cache-vs-refresh interaction and its bounds are
+        documented on :class:`~repro.core.config.FairwosConfig`.
         """
         config = self.config
         classifier = self.classifier
-        adjacency = graph.adjacency
         feature_array = pseudo_tensor.data
         num_nodes = feature_array.shape[0]
-        all_nodes = np.arange(num_nodes, dtype=np.int64)
         train_mask = np.asarray(graph.train_mask, dtype=bool)
         labels = graph.labels
         val_indices = np.where(graph.val_mask)[0]
-        val_labels = labels[val_indices]
         num_attrs = binary_attrs.shape[1]
-        optimizer = Adam(
-            classifier.parameters(),
-            lr=config.finetune_learning_rate or config.learning_rate,
-            weight_decay=config.weight_decay,
+        engine = MinibatchEngine(
+            classifier,
+            feature_array,
+            graph.adjacency,
+            fanouts=config.resolved_fanouts(),
+            batch_size=config.batch_size,
+            cache_epochs=config.cache_epochs,
+            optimizer=Adam(
+                classifier.parameters(),
+                lr=config.finetune_learning_rate or config.learning_rate,
+                weight_decay=config.weight_decay,
+            ),
         )
         search = self._make_search(rng)
-        sampler = NeighborSampler(adjacency, config.resolved_fanouts())
         refresh = config.resolved_cf_refresh()
         cf_index: CounterfactualIndex | None = None
         coverage = 0.0
-
-        def val_accuracy() -> float:
-            logits = predict_logits_batched(
-                classifier,
-                feature_array,
-                adjacency,
-                nodes=val_indices,
-                batch_size=config.batch_size,
-            )
-            return accuracy((logits > 0).astype(np.int64), val_labels)
-
-        floor = val_accuracy() - (
-            np.inf
-            if config.finetune_val_tolerance is None
-            else config.finetune_val_tolerance
-        )
-        last_good_state = classifier.state_dict()
-
         running_disparities = np.zeros(num_attrs)
-        for epoch in range(config.finetune_epochs):
+        epoch_utility = epoch_fair = 0.0
+        train_seen = 0
+        disparity_sums = np.zeros(num_attrs)
+        disparity_counts = np.zeros(num_attrs)
+
+        def on_epoch_start(epoch: int) -> None:
+            nonlocal cf_index, coverage, running_disparities
+            nonlocal epoch_utility, epoch_fair, train_seen
+            nonlocal disparity_sums, disparity_counts
             if cf_index is None or epoch % refresh == 0:
                 reps = embed_batched(
                     classifier,
                     feature_array,
-                    adjacency,
+                    graph.adjacency,
                     batch_size=config.batch_size,
                 )
                 cf_index = search.search(reps, pseudo_labels, binary_attrs)
                 coverage = cf_index.coverage()
                 # Snapshot disparities for every attribute so the λ update
                 # has a current estimate even for attributes a subsampling
-                # epoch never draws (they must not read as "perfectly fair").
+                # epoch never draws (they must not read as "perfectly fair"),
+                # and resample cached batch structure built on the old index.
                 running_disparities = _snapshot_disparities(reps, cf_index)
-
-            classifier.train()
+                engine.invalidate_cache()
             epoch_utility = epoch_fair = 0.0
             train_seen = 0
             disparity_sums = np.zeros(num_attrs)
             disparity_counts = np.zeros(num_attrs)
-            for batch in iter_minibatches(all_nodes, config.batch_size, rng):
-                # Attribute subsampling (cf_attrs_per_step): each step only
-                # materialises M of the I attributes' counterfactual pairs;
-                # the I/M rescale keeps the fair-loss gradient unbiased.
-                if (
-                    config.cf_attrs_per_step is not None
-                    and config.cf_attrs_per_step < num_attrs
-                ):
-                    attrs_step = np.sort(
-                        rng.choice(
-                            num_attrs, size=config.cf_attrs_per_step, replace=False
-                        )
-                    )
-                    fair_scale = num_attrs / attrs_step.size
-                else:
-                    attrs_step = np.arange(num_attrs)
-                    fair_scale = 1.0
-                # Seed set: the batch plus its valid counterfactual targets,
-                # so the fair loss's gradient reaches both sides of each pair.
-                # np.ix_ slices both axes at once — no O(I·N·K) intermediate.
-                sub = np.ix_(attrs_step, batch)
-                targets = cf_index.indices[sub][cf_index.valid[sub]]
-                seeds = np.unique(np.concatenate([batch, targets.reshape(-1)]))
-                blocks = sampler.sample_blocks(seeds, rng)
-                optimizer.zero_grad()
-                h = classifier.embed_blocks(
-                    Tensor(feature_array[blocks[0].src_nodes]), blocks
-                )
-                batch_train = batch[train_mask[batch]]
-                if batch_train.size:
-                    logits = classifier.head(h).reshape(-1)
-                    local = np.searchsorted(seeds, batch_train)
-                    utility = binary_cross_entropy_with_logits(
-                        logits[local], labels[batch_train].astype(np.float64)
-                    )
-                else:
-                    utility = Tensor(np.zeros(()))
-                fair, disparities, valid_counts = fair_representation_loss_minibatch(
-                    h, cf_index, updater.weights, batch, seeds, attrs=attrs_step
-                )
-                total = utility + (config.alpha * fair_scale) * fair
-                total.backward()
-                optimizer.step()
-                disparity_sums += disparities * valid_counts
-                disparity_counts += valid_counts
-                # Each mean is re-weighted by the count it was taken over so
-                # the logged epoch values match the full-batch statistics.
-                epoch_utility += float(utility.data) * batch_train.size
-                train_seen += batch_train.size
-                epoch_fair += float(fair.data) * fair_scale * batch.size
 
+        def seed_fn(batch: np.ndarray, step_rng: np.random.Generator):
+            # Attribute subsampling (cf_attrs_per_step): each step only
+            # materialises M of the I attributes' counterfactual pairs;
+            # the I/M rescale keeps the fair-loss gradient unbiased.
+            if (
+                config.cf_attrs_per_step is not None
+                and config.cf_attrs_per_step < num_attrs
+            ):
+                attrs_step = np.sort(
+                    step_rng.choice(
+                        num_attrs, size=config.cf_attrs_per_step, replace=False
+                    )
+                )
+                fair_scale = num_attrs / attrs_step.size
+            else:
+                attrs_step = np.arange(num_attrs)
+                fair_scale = 1.0
+            # Seed set: the batch plus its valid counterfactual targets,
+            # so the fair loss's gradient reaches both sides of each pair.
+            # np.ix_ slices both axes at once — no O(I·N·K) intermediate.
+            sub = np.ix_(attrs_step, batch)
+            targets = cf_index.indices[sub][cf_index.valid[sub]]
+            seeds = np.unique(np.concatenate([batch, targets.reshape(-1)]))
+            return seeds, (attrs_step, fair_scale)
+
+        def loss_fn(step: TrainStep) -> Tensor:
+            nonlocal epoch_utility, epoch_fair, train_seen
+            nonlocal disparity_sums, disparity_counts
+            attrs_step, fair_scale = step.payload
+            h = step.output
+            batch = step.batch
+            batch_train = batch[train_mask[batch]]
+            if batch_train.size:
+                logits = classifier.head(h).reshape(-1)
+                utility = binary_cross_entropy_with_logits(
+                    logits[step.local_index(batch_train)],
+                    labels[batch_train].astype(np.float64),
+                )
+            else:
+                utility = Tensor(np.zeros(()))
+            fair, disparities, valid_counts = fair_representation_loss_minibatch(
+                h, cf_index, updater.weights, batch, step.seeds, attrs=attrs_step
+            )
+            disparity_sums += disparities * valid_counts
+            disparity_counts += valid_counts
+            # Each mean is re-weighted by the count it was taken over so
+            # the logged epoch values match the full-batch statistics.
+            epoch_utility += float(utility.data) * batch_train.size
+            train_seen += batch_train.size
+            epoch_fair += float(fair.data) * fair_scale * batch.size
+            return utility + (config.alpha * fair_scale) * fair
+
+        def on_epoch_end(epoch: int) -> None:
             if config.use_weight_update:
                 # Weighted mean of the batch disparities == the full-graph
                 # D_i (mean over valid nodes), so the λ update sees the same
@@ -469,8 +478,6 @@ class FairwosTrainer:
                     disparity_sums[seen] / disparity_counts[seen]
                 )
                 updater.update(running_disparities)
-
-            val_acc = val_accuracy()
             utility_epoch = epoch_utility / max(train_seen, 1)
             fair_epoch = epoch_fair / num_nodes
             history["finetune_loss"].append(
@@ -478,12 +485,22 @@ class FairwosTrainer:
             )
             history["finetune_utility_loss"].append(utility_epoch)
             history["finetune_fair_loss"].append(fair_epoch)
-            history["finetune_val_accuracy"].append(val_acc)
-            if val_acc >= floor:
-                last_good_state = classifier.state_dict()
-            elif config.finetune_val_tolerance is not None:
-                classifier.load_state_dict(last_good_state)
-                break
+
+        fit = engine.run(
+            np.arange(num_nodes, dtype=np.int64),
+            config.finetune_epochs,
+            loss_fn,
+            rng,
+            val_nodes=val_indices,
+            val_labels=labels[val_indices],
+            checkpoint="floor",
+            val_tolerance=config.finetune_val_tolerance,
+            forward="embed",
+            seed_fn=seed_fn,
+            on_epoch_start=on_epoch_start,
+            on_epoch_end=on_epoch_end,
+        )
+        history["finetune_val_accuracy"].extend(fit.val_accuracy)
         return coverage
 
     # ------------------------------------------------------------------ #

@@ -74,6 +74,7 @@ def run_method(
     minibatch: bool = False,
     fanouts: tuple[int, ...] | None = None,
     batch_size: int = 512,
+    cache_epochs: int = 1,
     cf_backend: str = "exact",
     cf_refresh_epochs: int | None = None,
     finetune_minibatch: bool | None = None,
@@ -103,6 +104,11 @@ def run_method(
         fairness terms on sampled batches, and "fairwos" runs all three
         phases sampled.  With ``fanouts`` set, the backbone depth follows
         its length.
+    cache_epochs:
+        Epoch-level sampling-cache window of the minibatch engine: sampled
+        batch structure is refreshed every that many epochs and replayed in
+        between (1 = fresh every epoch).  Applies to every
+        minibatch-capable method.
     cf_backend, cf_refresh_epochs, finetune_minibatch:
         Fairwos fine-tune scaling knobs (see
         :class:`~repro.core.config.FairwosConfig`); ignored by baselines.
@@ -123,6 +129,7 @@ def run_method(
             minibatch=minibatch,
             fanouts=fanouts,
             batch_size=batch_size,
+            cache_epochs=cache_epochs,
             num_layers=len(fanouts) if fanouts else 1,
         )
         runner = baseline_classes[key](**kwargs)
@@ -132,14 +139,15 @@ def run_method(
 
     if fairwos_config is not None and (
         minibatch
+        or cache_epochs != 1
         or cf_backend != "exact"
         or cf_refresh_epochs is not None
         or finetune_minibatch is not None
     ):
         raise ValueError(
             "pass minibatch/counterfactual settings inside fairwos_config "
-            "(minibatch/fanouts/batch_size/cf_backend/cf_refresh_epochs "
-            "fields) when supplying an explicit config"
+            "(minibatch/fanouts/batch_size/cache_epochs/cf_backend/"
+            "cf_refresh_epochs fields) when supplying an explicit config"
         )
     if fairwos_config is None:
         overrides = FAIRWOS_OVERRIDES.get(graph.name, FAIRWOS_OVERRIDES["default"])
@@ -152,6 +160,7 @@ def run_method(
             minibatch=minibatch,
             fanouts=fanouts,
             batch_size=batch_size,
+            cache_epochs=cache_epochs,
             num_layers=len(fanouts) if fanouts else 1,
             cf_backend=cf_backend,
             cf_refresh_epochs=cf_refresh_epochs,

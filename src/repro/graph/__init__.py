@@ -9,6 +9,7 @@ from repro.graph.normalize import (
 )
 from repro.graph.sampling import (
     Block,
+    EpochBlockCache,
     NeighborSampler,
     block_gcn_matrix,
     block_mean_matrix,
@@ -29,6 +30,7 @@ from repro.graph.utils import (
 __all__ = [
     "Graph",
     "Block",
+    "EpochBlockCache",
     "NeighborSampler",
     "block_gcn_matrix",
     "block_mean_matrix",

@@ -33,6 +33,7 @@ from repro.graph.utils import adjacency_from_edges, edges_from_adjacency
 
 __all__ = [
     "Block",
+    "EpochBlockCache",
     "NeighborSampler",
     "is_block_sequence",
     "block_gcn_matrix",
@@ -90,6 +91,11 @@ class Block:
             )
         if not np.array_equal(self.src_nodes[: self.num_dst], self.dst_nodes):
             raise ValueError("src_nodes must start with dst_nodes")
+        # Lazily filled by the block operators below.  A block used once (the
+        # fresh-sample path) pays one dict lookup; a block replayed across
+        # epochs by :class:`EpochBlockCache` folds its normalised operator
+        # matrix exactly once instead of once per gradient step.
+        self._operator_cache: dict[str, sp.csr_matrix] = {}
 
     @property
     def num_src(self) -> int:
@@ -283,6 +289,95 @@ class NeighborSampler:
         )
 
 
+class EpochBlockCache:
+    """Epoch-level replay cache for sampled minibatch structure.
+
+    Per-batch neighbour sampling is pure numpy bookkeeping (lexsort,
+    setdiff, searchsorted per layer) and dominates sampled-epoch wall-time
+    once the model is small; the structure it produces, however, is equally
+    valid for several consecutive epochs of SGD.  This cache records every
+    step of a *refresh* epoch — the iterated batch, its (possibly extended)
+    seed set, an arbitrary caller payload, and the sampled block chain — and
+    replays the recorded sequence verbatim for the following
+    ``cache_epochs - 1`` epochs, so sampling cost is paid once per window
+    (and the replayed :class:`Block`\\ s keep their memoised operator
+    matrices warm).
+
+    The trade-off is memory: while a window is live, one whole epoch's
+    batch/block structure stays resident — peak memory grows with the
+    epoch's total sampled receptive field rather than a single batch's.
+    ``cache_epochs == 1`` (the default) keeps the engine's original
+    batch-bounded memory profile.
+
+    RNG-stream contract
+    -------------------
+    * ``cache_epochs == 1`` (the default) never replays: every epoch
+      shuffles and samples freshly, consuming the generator exactly as the
+      pre-cache loops did — behaviour is bit-identical.
+    * ``cache_epochs == R > 1``: epochs ``0, R, 2R, ...`` (counted from the
+      last :meth:`invalidate`) are refresh epochs and consume the stream
+      exactly like a fresh epoch; the epochs in between consume **no**
+      generator state for shuffling, seed extension or block sampling — the
+      recorded structure repeats exactly.  Draws made by loss closures
+      outside the recorded structure still advance the stream normally.
+    * Covering configurations (``batch_size >= |nodes|`` with exhaustive
+      ``None`` fanouts) stay bit-identical to full-batch training for every
+      ``cache_epochs`` setting: the covering batch is the whole node set and
+      exhaustive blocks are deterministic, so a replayed epoch is exactly
+      the epoch a fresh sample would have produced.
+
+    :meth:`invalidate` forces the next epoch to refresh regardless of the
+    window position — the engine calls it when the structure a consumer
+    bakes into its seeds goes stale (e.g. Fairwos refreshing its
+    counterfactual index mid-window).
+    """
+
+    def __init__(self, cache_epochs: int = 1) -> None:
+        if cache_epochs < 1:
+            raise ValueError(f"cache_epochs must be >= 1, got {cache_epochs}")
+        self.cache_epochs = int(cache_epochs)
+        self._steps: list[tuple] = []
+        self._since_refresh = -1
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this cache ever replays (``cache_epochs > 1``)."""
+        return self.cache_epochs > 1
+
+    def invalidate(self) -> None:
+        """Drop the recorded epoch; the next :meth:`start_epoch` refreshes."""
+        self._steps = []
+        self._since_refresh = -1
+
+    def start_epoch(self) -> bool:
+        """Advance one epoch; return True when this epoch replays the cache."""
+        self._since_refresh += 1
+        if (
+            self.enabled
+            and self._steps
+            and self._since_refresh % self.cache_epochs != 0
+        ):
+            return True
+        self._steps = []
+        self._since_refresh = 0
+        return False
+
+    def record(
+        self,
+        batch: np.ndarray,
+        seeds: np.ndarray,
+        payload,
+        blocks: list[Block],
+    ) -> None:
+        """Store one fresh step for replay (no-op when caching is off)."""
+        if self.enabled:
+            self._steps.append((batch, seeds, payload, blocks))
+
+    def steps(self) -> list[tuple]:
+        """The recorded ``(batch, seeds, payload, blocks)`` sequence."""
+        return self._steps
+
+
 # --------------------------------------------------------------------- #
 # block-level aggregation operators (mirror repro.graph.normalize)
 # --------------------------------------------------------------------- #
@@ -295,17 +390,31 @@ def _self_loops(block: Block) -> sp.csr_matrix:
     )
 
 
+def _memoized_operator(block: Block, key: str, build) -> sp.csr_matrix:
+    """Build a block's normalised operator once; replayed blocks reuse it."""
+    cached = block._operator_cache.get(key)
+    if cached is None:
+        cached = build(block)
+        block._operator_cache[key] = cached
+    return cached
+
+
 def block_gcn_matrix(block: Block) -> sp.csr_matrix:
     """Bipartite GCN operator ``D̃^{-1/2} (A + I) D̃^{-1/2}`` for one block.
 
     Degrees are the *full-graph* degrees carried by the block, so under
     exhaustive fanout this is exactly the corresponding row/column slice of
-    :func:`repro.graph.normalize.gcn_normalize`'s output.
+    :func:`repro.graph.normalize.gcn_normalize`'s output.  Memoised on the
+    block: epoch-cached replays pay the normalisation once per window.
     """
-    matrix = block.adjacency + _self_loops(block)
-    row_scale = 1.0 / np.sqrt(block.dst_degrees + 1.0)
-    col_scale = 1.0 / np.sqrt(block.src_degrees + 1.0)
-    return (sp.diags(row_scale) @ matrix @ sp.diags(col_scale)).tocsr()
+
+    def build(block: Block) -> sp.csr_matrix:
+        matrix = block.adjacency + _self_loops(block)
+        row_scale = 1.0 / np.sqrt(block.dst_degrees + 1.0)
+        col_scale = 1.0 / np.sqrt(block.src_degrees + 1.0)
+        return (sp.diags(row_scale) @ matrix @ sp.diags(col_scale)).tocsr()
+
+    return _memoized_operator(block, "gcn", build)
 
 
 def block_mean_matrix(block: Block) -> sp.csr_matrix:
@@ -313,13 +422,17 @@ def block_mean_matrix(block: Block) -> sp.csr_matrix:
 
     Rows are normalised by the sampled (multiplicity-weighted) neighbour
     count, which equals the true degree under exhaustive fanout and is the
-    standard unbiased mean estimator under sampling.
+    standard unbiased mean estimator under sampling.  Memoised on the block.
     """
-    sampled = block.sampled_in_degrees()
-    inv = np.zeros_like(sampled)
-    nonzero = sampled > 0
-    inv[nonzero] = 1.0 / sampled[nonzero]
-    return (sp.diags(inv) @ block.adjacency).tocsr()
+
+    def build(block: Block) -> sp.csr_matrix:
+        sampled = block.sampled_in_degrees()
+        inv = np.zeros_like(sampled)
+        nonzero = sampled > 0
+        inv[nonzero] = 1.0 / sampled[nonzero]
+        return (sp.diags(inv) @ block.adjacency).tocsr()
+
+    return _memoized_operator(block, "mean", build)
 
 
 def block_sum_matrix(block: Block) -> sp.csr_matrix:
@@ -327,13 +440,17 @@ def block_sum_matrix(block: Block) -> sp.csr_matrix:
 
     Each row is scaled by ``true_degree / sampled_count`` so the sampled sum
     is an unbiased estimate of the full neighbourhood sum, and reduces to
-    the plain sum (scale 1) under exhaustive fanout.
+    the plain sum (scale 1) under exhaustive fanout.  Memoised on the block.
     """
-    sampled = block.sampled_in_degrees()
-    scale = np.zeros_like(sampled)
-    nonzero = sampled > 0
-    scale[nonzero] = block.dst_degrees[nonzero] / sampled[nonzero]
-    return (sp.diags(scale) @ block.adjacency).tocsr()
+
+    def build(block: Block) -> sp.csr_matrix:
+        sampled = block.sampled_in_degrees()
+        scale = np.zeros_like(sampled)
+        nonzero = sampled > 0
+        scale[nonzero] = block.dst_degrees[nonzero] / sampled[nonzero]
+        return (sp.diags(scale) @ block.adjacency).tocsr()
+
+    return _memoized_operator(block, "sum", build)
 
 
 def sample_neighbors(

@@ -2,9 +2,13 @@
 
 ``fit_binary_classifier`` is the paper's full-batch recipe;
 ``fit_minibatch`` is the neighbour-sampled large-graph equivalent with the
-same early-stopping / best-model contract.
+same early-stopping / best-model contract.  Both the sampled loops and
+every method-specific variant (Fairwos fine-tune, FairRF, FairGKD) run on
+``MinibatchEngine`` — methods register loss closures and epoch callbacks
+instead of writing their own loop.
 """
 
+from repro.training.engine import MinibatchEngine, TrainStep
 from repro.training.loop import FitHistory, fit_binary_classifier, predict_logits
 from repro.training.minibatch import (
     DEFAULT_FANOUT,
@@ -17,6 +21,8 @@ from repro.training.minibatch import (
 __all__ = [
     "DEFAULT_FANOUT",
     "FitHistory",
+    "MinibatchEngine",
+    "TrainStep",
     "embed_batched",
     "fit_binary_classifier",
     "predict_logits",

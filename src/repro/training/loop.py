@@ -25,13 +25,19 @@ __all__ = ["FitHistory", "fit_binary_classifier", "predict_logits"]
 
 @dataclass
 class FitHistory:
-    """Per-epoch training record; best-val state is restored on the model."""
+    """Per-epoch training record; best-val state is restored on the model.
+
+    ``epoch_train_seconds`` is filled by the minibatch engine only (one
+    entry per epoch, covering sampling + forward/backward but not the
+    validation pass) — the quantity the sampler-cache benchmarks gate on.
+    """
 
     train_loss: list[float] = field(default_factory=list)
     val_accuracy: list[float] = field(default_factory=list)
     best_val_accuracy: float = -1.0
     best_epoch: int = -1
     stopped_early: bool = False
+    epoch_train_seconds: list[float] = field(default_factory=list)
 
     @property
     def epochs_run(self) -> int:

@@ -8,6 +8,17 @@ fanout-bounded computation graph of one seed batch, so peak memory is
 independent of the number of nodes — no dense ``(N, N)`` operator and no
 full-graph ``(N, hidden)`` activation is ever materialised during training.
 
+The loop skeleton itself lives in :class:`repro.training.engine.MinibatchEngine`
+(shared with the Fairwos fine-tune and the FairRF/FairGKD sampled loops);
+``fit_minibatch`` is the plain supervised instantiation: BCE on the train
+batch plus an optional extra loss, best-val checkpointing and an optional
+epoch-level sampling cache (``cache_epochs``).  Note the cache trades that
+memory bound for sampling speed: with ``cache_epochs > 1`` one whole
+epoch's batch/block structure stays resident between refreshes, so peak
+memory grows with the epoch's total receptive field (roughly the sampled
+edge set over all batches) instead of a single batch's — keep the default
+of 1 when memory, not sampling wall-time, is the binding constraint.
+
 :func:`predict_logits_batched` is the matching memory-bounded inference path:
 it folds the *full* (un-sampled) L-hop neighbourhood of each batch, so its
 outputs equal :func:`~repro.training.loop.predict_logits` exactly while only
@@ -16,17 +27,21 @@ holding one batch's computation graph at a time.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.fairness.metrics import accuracy
-from repro.graph.sampling import NeighborSampler
 from repro.nn import binary_cross_entropy_with_logits
 from repro.nn.module import Module
-from repro.optim import Adam
-from repro.tensor import Tensor, no_grad
+from repro.training.engine import (
+    DEFAULT_FANOUT,
+    MinibatchEngine,
+    TrainStep,
+    embed_batched,
+    iter_minibatches,
+    predict_logits_batched,
+)
 from repro.training.loop import FitHistory
 
 __all__ = [
@@ -36,161 +51,6 @@ __all__ = [
     "predict_logits_batched",
     "iter_minibatches",
 ]
-
-# Per-layer neighbour fanout used whenever the caller does not specify one
-# (shared by fit_minibatch, FairwosConfig and the CLI display).
-DEFAULT_FANOUT = 10
-
-
-def iter_minibatches(
-    indices: np.ndarray,
-    batch_size: int,
-    rng: np.random.Generator | None = None,
-) -> Iterator[np.ndarray]:
-    """Yield ``indices`` in batches of ``batch_size`` (shuffled when ``rng``)."""
-    indices = np.asarray(indices, dtype=np.int64).reshape(-1)
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    if rng is not None:
-        indices = rng.permutation(indices)
-    for start in range(0, indices.size, batch_size):
-        yield indices[start : start + batch_size]
-
-
-def _as_feature_array(features) -> np.ndarray:
-    """Accept a numpy array or constant Tensor of node features."""
-    if isinstance(features, Tensor):
-        return features.data
-    return np.asarray(features, dtype=np.float64)
-
-
-def _resolve_num_layers(model: Module, num_layers: int | None) -> int:
-    layers = num_layers if num_layers is not None else getattr(model, "num_layers", None)
-    if layers is None:
-        raise ValueError(
-            "model exposes no num_layers attribute; pass num_layers explicitly"
-        )
-    return int(layers)
-
-
-def predict_logits_batched(
-    model: Module,
-    features,
-    adjacency: sp.spmatrix,
-    nodes: np.ndarray | None = None,
-    batch_size: int = 1024,
-    num_layers: int | None = None,
-    sampler: NeighborSampler | None = None,
-    rng: np.random.Generator | None = None,
-) -> np.ndarray:
-    """Inference-mode logits computed one seed batch at a time.
-
-    By default each batch folds its exact L-hop neighbourhood (fanout
-    ``None``), so the result matches full-batch ``predict_logits`` while
-    keeping memory bounded by the batch's receptive field.  Pass a custom
-    ``sampler`` to trade exactness for speed on very dense graphs.
-
-    Parameters
-    ----------
-    model:
-        A block-capable model (``model(features, blocks) -> logits``).
-    features:
-        ``(N, F)`` numpy array or Tensor of all node features.
-    adjacency:
-        Full-graph CSR adjacency.
-    nodes:
-        Seed node ids to score (default: all nodes, in order).
-    batch_size:
-        Seeds per inference batch.
-    num_layers:
-        Number of message-passing layers (default: ``model.num_layers``).
-    sampler:
-        Optional pre-built sampler overriding the exact full-neighbourhood
-        default (its ``num_layers`` must match the model).
-    rng:
-        Only needed when ``sampler`` actually samples.
-    """
-    feature_array = _as_feature_array(features)
-    if sampler is None:
-        sampler = NeighborSampler.full_neighborhood(
-            adjacency, _resolve_num_layers(model, num_layers)
-        )
-    if nodes is None:
-        nodes = np.arange(sampler.num_nodes)
-    nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
-    if rng is None:
-        # Fresh entropy: a custom *sampling* sampler without an explicit rng
-        # must not silently return identical draws on every call.  The exact
-        # full-neighbourhood default never consumes the generator.
-        rng = np.random.default_rng()
-
-    logits = np.empty(nodes.size, dtype=np.float64)
-    was_training = model.training
-    model.eval()
-    with no_grad():
-        filled = 0
-        for batch in iter_minibatches(nodes, batch_size):
-            blocks = sampler.sample_blocks(batch, rng)
-            batch_features = Tensor(feature_array[blocks[0].src_nodes])
-            logits[filled : filled + batch.size] = model(batch_features, blocks).data
-            filled += batch.size
-    model.train(was_training)
-    return logits
-
-
-def embed_batched(
-    model: Module,
-    features,
-    adjacency: sp.spmatrix,
-    nodes: np.ndarray | None = None,
-    batch_size: int = 1024,
-    num_layers: int | None = None,
-    sampler: NeighborSampler | None = None,
-    rng: np.random.Generator | None = None,
-) -> np.ndarray:
-    """Inference-mode node representations, one seed batch at a time.
-
-    The representation-space analogue of :func:`predict_logits_batched`:
-    folds each batch's exact L-hop neighbourhood through ``model.embed_blocks``
-    so the output matches full-batch ``model.embed`` while only one batch's
-    computation graph is live.  Used by the sampled fine-tune phase to
-    refresh the counterfactual index without a full-graph forward pass.
-
-    Returns an ``(len(nodes), hidden)`` float64 array.
-    """
-    feature_array = _as_feature_array(features)
-    if sampler is None:
-        sampler = NeighborSampler.full_neighborhood(
-            adjacency, _resolve_num_layers(model, num_layers)
-        )
-    if nodes is None:
-        nodes = np.arange(sampler.num_nodes)
-    nodes = np.asarray(nodes, dtype=np.int64).reshape(-1)
-    if nodes.size == 0:
-        # The embedding width is unknown without a forward pass, so an
-        # empty request has no well-defined result shape.
-        raise ValueError("nodes must be non-empty")
-    if rng is None:
-        # Matches predict_logits_batched: the exact full-neighbourhood
-        # default never consumes the generator; a custom sampling sampler
-        # without an explicit rng must not repeat identical draws.
-        rng = np.random.default_rng()
-
-    out: np.ndarray | None = None
-    was_training = model.training
-    model.eval()
-    with no_grad():
-        filled = 0
-        for batch in iter_minibatches(nodes, batch_size):
-            blocks = sampler.sample_blocks(batch, rng)
-            batch_features = Tensor(feature_array[blocks[0].src_nodes])
-            h = model.embed_blocks(batch_features, blocks).data
-            if out is None:
-                out = np.empty((nodes.size, h.shape[1]), dtype=np.float64)
-            out[filled : filled + batch.size] = h
-            filled += batch.size
-    model.train(was_training)
-    return out
 
 
 def fit_minibatch(
@@ -210,6 +70,7 @@ def fit_minibatch(
     eval_batch_size: int | None = None,
     rng: np.random.Generator | int | None = None,
     extra_loss=None,
+    cache_epochs: int = 1,
 ) -> FitHistory:
     """Train ``model`` with sampled minibatches; restore its best-val weights.
 
@@ -246,75 +107,48 @@ def fit_minibatch(
     extra_loss:
         Optional callable ``(logits, batch_indices) -> Tensor`` added to the
         per-batch BCE objective.
+    cache_epochs:
+        Epoch-level sampling cache window: batch composition and sampled
+        blocks are refreshed every ``cache_epochs`` epochs and replayed in
+        between (see :class:`~repro.graph.sampling.EpochBlockCache` for the
+        RNG-stream contract).  The default ``1`` samples freshly every
+        epoch.
     """
     labels = np.asarray(labels)
     train_mask = np.asarray(train_mask, dtype=bool)
     val_mask = np.asarray(val_mask, dtype=bool)
-    if epochs < 1:
-        raise ValueError(f"epochs must be >= 1, got {epochs}")
     if not train_mask.any() or not val_mask.any():
         raise ValueError("train and validation masks must be non-empty")
-    if not isinstance(rng, np.random.Generator):
-        rng = np.random.default_rng(rng)
 
-    feature_array = _as_feature_array(features)
-    num_model_layers = _resolve_num_layers(model, None)
-    if fanouts is None:
-        fanouts = (DEFAULT_FANOUT,) * num_model_layers
-    sampler = NeighborSampler(adjacency, fanouts, replace=replace)
-    if sampler.num_layers != num_model_layers:
-        raise ValueError(
-            f"got {sampler.num_layers} fanouts for a {num_model_layers}-layer model"
-        )
-    eval_sampler = NeighborSampler.full_neighborhood(adjacency, num_model_layers)
-
-    optimizer = Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
-    history = FitHistory()
-    best_state = model.state_dict()
-    train_indices = np.where(train_mask)[0]
+    engine = MinibatchEngine(
+        model,
+        features,
+        adjacency,
+        fanouts=fanouts,
+        batch_size=batch_size,
+        replace=replace,
+        cache_epochs=cache_epochs,
+        lr=lr,
+        weight_decay=weight_decay,
+        eval_batch_size=eval_batch_size or batch_size,
+    )
     val_indices = np.where(val_mask)[0]
-    val_labels = labels[val_mask]
-    since_best = 0
 
-    for epoch in range(epochs):
-        model.train()
-        epoch_loss = 0.0
-        for batch in iter_minibatches(train_indices, batch_size, rng):
-            blocks = sampler.sample_blocks(batch, rng)
-            batch_features = Tensor(feature_array[blocks[0].src_nodes])
-            optimizer.zero_grad()
-            logits = model(batch_features, blocks)
-            loss = binary_cross_entropy_with_logits(
-                logits, labels[batch].astype(np.float64)
-            )
-            if extra_loss is not None:
-                loss = loss + extra_loss(logits, batch)
-            loss.backward()
-            optimizer.step()
-            epoch_loss += float(loss.data) * batch.size
-
-        val_logits = predict_logits_batched(
-            model,
-            feature_array,
-            adjacency,
-            nodes=val_indices,
-            batch_size=eval_batch_size or batch_size,
-            sampler=eval_sampler,
+    def loss_fn(step: TrainStep):
+        loss = binary_cross_entropy_with_logits(
+            step.output, labels[step.batch].astype(np.float64)
         )
-        val_acc = accuracy((val_logits > 0).astype(np.int64), val_labels)
-        history.train_loss.append(epoch_loss / train_indices.size)
-        history.val_accuracy.append(val_acc)
+        if extra_loss is not None:
+            loss = loss + extra_loss(step.output, step.batch)
+        return loss
 
-        if val_acc > history.best_val_accuracy:
-            history.best_val_accuracy = val_acc
-            history.best_epoch = epoch
-            best_state = model.state_dict()
-            since_best = 0
-        else:
-            since_best += 1
-            if patience is not None and since_best > patience:
-                history.stopped_early = True
-                break
-
-    model.load_state_dict(best_state)
-    return history
+    return engine.run(
+        np.where(train_mask)[0],
+        epochs,
+        loss_fn,
+        rng,
+        val_nodes=val_indices,
+        val_labels=labels[val_indices],
+        checkpoint="best",
+        patience=patience,
+    )

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.analysis import StreamingCorrelation
 from repro.baselines import FairGKD, FairRF, KSMOTE
 from repro.baselines.base import BaselineMethod
 from repro.datasets import BiasSpec, generate_biased_graph
@@ -142,6 +143,106 @@ class TestSampledContracts:
         result = cls(epochs=15, patience=5, **SAMPLED).fit(causal_graph, seed=0)
         assert 0.0 <= result.test.accuracy <= 1.0
         assert 0.0 <= result.test.delta_sp <= 1.0
+
+
+def _full_squared_correlation(predictions: np.ndarray, columns: np.ndarray):
+    """Reference corr² of the full prediction vector with each column."""
+    cp = predictions - predictions.mean()
+    cx = columns - columns.mean(axis=0)
+    return (cx * cp[:, None]).sum(axis=0) ** 2 / (
+        (cp**2).sum() * (cx**2).sum(axis=0)
+    )
+
+
+def _batch_mean_squared_correlation(
+    predictions: np.ndarray, columns: np.ndarray, batch_size: int
+):
+    """The pre-Welford FairRF estimator: size-weighted mean of per-batch corr²."""
+    sums = np.zeros(columns.shape[1])
+    for start in range(0, predictions.size, batch_size):
+        p = predictions[start : start + batch_size]
+        x = columns[start : start + batch_size]
+        sums += _full_squared_correlation(p, x) * p.size
+    return sums / predictions.size
+
+
+class TestStreamingCorrelationEstimator:
+    """The FairRF λ-update statistic: pooled Welford moments instead of the
+    mean of per-batch squared correlations (ROADMAP: the latter is biased,
+    ``E[corr²_batch] > corr²_full``, and widens the sampled ΔSP gap).
+
+    The gap-tightening assertion lives at the estimator level because it is
+    sharp there: the simplex weight update is shift-invariant, so on graphs
+    whose related features are all inflated by a similar amount the bias
+    cancels out of the weights — the pooled estimator's win appears exactly
+    when correlations are heterogeneous, which these tests construct
+    directly (one correlated column among uncorrelated ones)."""
+
+    def _data(self, seed=0, n=2048, num_columns=3):
+        rng = np.random.default_rng(seed)
+        columns = rng.normal(size=(n, num_columns))
+        # Predictions weakly correlated with column 0 only.
+        predictions = 0.15 * columns[:, 0] + rng.normal(size=n)
+        return predictions, columns
+
+    def test_pooled_equals_full_for_fixed_predictions(self):
+        predictions, columns = self._data()
+        moments = StreamingCorrelation(columns.shape[1])
+        for start in range(0, predictions.size, 64):
+            moments.update(
+                predictions[start : start + 64], columns[start : start + 64]
+            )
+        np.testing.assert_allclose(
+            moments.squared_correlations(),
+            _full_squared_correlation(predictions, columns),
+            atol=1e-9,
+        )
+
+    def test_single_covering_batch_matches_batch_formula(self):
+        predictions, columns = self._data(seed=1)
+        moments = StreamingCorrelation(columns.shape[1])
+        moments.update(predictions, columns)
+        np.testing.assert_allclose(
+            moments.squared_correlations(),
+            _full_squared_correlation(predictions, columns),
+            atol=1e-12,
+        )
+
+    def test_constant_column_reports_zero(self):
+        predictions, columns = self._data(seed=2)
+        columns[:, 1] = 3.5
+        moments = StreamingCorrelation(columns.shape[1])
+        moments.update(predictions[:100], columns[:100])
+        moments.update(predictions[100:], columns[100:])
+        assert moments.squared_correlations()[1] == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_batch_mean_is_inflated_and_pooled_tightens_it(self, seed):
+        """The estimator-level version of 'the sampled ΔSP gap tightens':
+        at batch 64 the old batch-mean estimate of a near-zero correlation
+        is inflated by ~1/batch, while the pooled estimate stays at the
+        full-data value — so the weight update stops chasing noise."""
+        predictions, columns = self._data(seed=seed)
+        full = _full_squared_correlation(predictions, columns)
+        batch_mean = _batch_mean_squared_correlation(predictions, columns, 64)
+        moments = StreamingCorrelation(columns.shape[1])
+        for start in range(0, predictions.size, 64):
+            moments.update(
+                predictions[start : start + 64], columns[start : start + 64]
+            )
+        pooled = moments.squared_correlations()
+        # Uncorrelated columns: E[corr²_batch] ≈ 1/64 ≫ corr²_full ≈ 1/2048.
+        for j in (1, 2):
+            assert batch_mean[j] > full[j] + 5e-3
+            assert abs(pooled[j] - full[j]) < 1e-9
+        assert np.abs(pooled - full).max() < np.abs(batch_mean - full).max()
+
+    def test_validates_shapes(self):
+        moments = StreamingCorrelation(2)
+        with pytest.raises(ValueError, match="columns"):
+            moments.update(np.zeros(4), np.zeros((4, 3)))
+        with pytest.raises(ValueError, match="num_columns"):
+            StreamingCorrelation(0)
 
 
 class TestDispatchValidation:

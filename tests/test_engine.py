@@ -1,0 +1,457 @@
+"""Tests for the unified minibatch engine and the epoch-level sampling cache.
+
+Three layers of evidence that epoch-cached sampling never changes what a
+model *can* compute, only how often the sampling bill is paid:
+
+* **cache level** — a hypothesis harness pins replayed blocks equal to
+  freshly sampled blocks under exhaustive fanout (where sampling is
+  deterministic, replay must be a pure no-op), and checks the refresh
+  cadence / invalidation bookkeeping of ``EpochBlockCache`` directly;
+* **covering level** — covering batches (batch ≥ N, exhaustive fanout)
+  must equal full-batch training to 1e-9 for *every* ``cache_epochs``
+  setting, through both ``fit_minibatch`` and a baseline with an epoch
+  callback (FairRF);
+* **determinism** — a sampled run is a deterministic function of
+  ``(seed, cache_epochs)``, and the default ``cache_epochs=1`` is
+  bit-identical to pre-cache behaviour by construction (the cache never
+  replays).
+
+Plus contract tests for the engine itself: checkpoint policies, validation
+of bad arguments, and the ``forward="embed"`` path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import BiasSpec, generate_biased_graph
+from repro.baselines import FairRF
+from repro.fairness import evaluate_predictions
+from repro.graph.sampling import EpochBlockCache, NeighborSampler
+from repro.gnnzoo import make_backbone
+from repro.nn import binary_cross_entropy_with_logits
+from repro.tensor import Tensor
+from repro.training import (
+    MinibatchEngine,
+    fit_binary_classifier,
+    fit_minibatch,
+    iter_minibatches,
+    predict_logits,
+    predict_logits_batched,
+)
+
+
+@pytest.fixture(scope="module")
+def causal_graph():
+    """A ~400-node generated causal graph with planted bias."""
+    return generate_biased_graph(
+        num_nodes=400,
+        num_features=10,
+        average_degree=8,
+        spec=BiasSpec(
+            label_bias=0.2,
+            proxy_strength=1.0,
+            group_homophily=2.0,
+            label_signal_strength=0.5,
+        ),
+        seed=3,
+        name="engine",
+    ).standardized()
+
+
+def _random_adjacency(seed: int, num_nodes: int) -> sp.csr_matrix:
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((num_nodes, num_nodes)) < 0.25).astype(float)
+    dense = np.triu(dense, 1)
+    return sp.csr_matrix(dense + dense.T)
+
+
+def _blocks_equal(left, right) -> bool:
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if not (
+            np.array_equal(a.src_nodes, b.src_nodes)
+            and np.array_equal(a.dst_nodes, b.dst_nodes)
+            and (a.adjacency != b.adjacency).nnz == 0
+        ):
+            return False
+    return True
+
+
+class TestEpochBlockCacheUnit:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError, match="cache_epochs"):
+            EpochBlockCache(cache_epochs=0)
+
+    def test_default_never_replays(self):
+        cache = EpochBlockCache(cache_epochs=1)
+        for _ in range(5):
+            assert cache.start_epoch() is False
+            cache.record(np.arange(3), np.arange(3), None, [])
+            assert cache.steps() == []  # disabled caches record nothing
+
+    def test_refresh_cadence(self):
+        cache = EpochBlockCache(cache_epochs=3)
+        pattern = []
+        for _ in range(7):
+            replay = cache.start_epoch()
+            pattern.append(replay)
+            if not replay:
+                cache.record(np.arange(3), np.arange(3), "payload", ["blocks"])
+        # refresh, replay, replay, refresh, replay, replay, refresh
+        assert pattern == [False, True, True, False, True, True, False]
+
+    def test_replay_returns_recorded_steps(self):
+        cache = EpochBlockCache(cache_epochs=2)
+        assert cache.start_epoch() is False
+        batch = np.array([1, 2])
+        cache.record(batch, batch, ("attrs",), ["chain"])
+        assert cache.start_epoch() is True
+        [(replayed_batch, seeds, payload, blocks)] = cache.steps()
+        assert replayed_batch is batch
+        assert payload == ("attrs",)
+        assert blocks == ["chain"]
+
+    def test_invalidate_forces_refresh(self):
+        cache = EpochBlockCache(cache_epochs=4)
+        assert cache.start_epoch() is False
+        cache.record(np.arange(2), np.arange(2), None, [])
+        cache.invalidate()
+        assert cache.steps() == []
+        # The epoch right after an invalidation must refresh, and the
+        # cadence restarts from it.
+        assert cache.start_epoch() is False
+        cache.record(np.arange(2), np.arange(2), None, [])
+        assert cache.start_epoch() is True
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 200),
+        num_nodes=st.integers(6, 24),
+        batch_size=st.integers(2, 8),
+        num_layers=st.integers(1, 3),
+    )
+    def test_property_replay_equals_fresh_under_exhaustive_fanout(
+        self, seed, num_nodes, batch_size, num_layers
+    ):
+        """Exhaustive sampling is deterministic, so a replayed epoch must
+        produce exactly the blocks a fresh epoch over the same batches
+        would — the cache can only ever remove sampling *work*, never
+        change sampling *results*."""
+        adjacency = _random_adjacency(seed, num_nodes)
+        sampler = NeighborSampler(adjacency, fanouts=(None,) * num_layers)
+        cache = EpochBlockCache(cache_epochs=2)
+        rng = np.random.default_rng(seed)
+        assert cache.start_epoch() is False
+        batches = list(iter_minibatches(np.arange(num_nodes), batch_size, rng))
+        for batch in batches:
+            cache.record(batch, batch, None, sampler.sample_blocks(batch, rng))
+        assert cache.start_epoch() is True
+        for (batch, _, _, blocks), original in zip(cache.steps(), batches):
+            np.testing.assert_array_equal(batch, original)
+            assert _blocks_equal(blocks, sampler.sample_blocks(original, rng))
+
+
+class TestCoveringBatchParityAcrossCacheSettings:
+    """Covering batches must equal full-batch training to 1e-9 for every
+    cache window — the explicit RNG-stream contract of the cache."""
+
+    @pytest.mark.parametrize("cache_epochs", [1, 3, 7])
+    def test_fit_minibatch_covering_matches_fullbatch(
+        self, causal_graph, cache_epochs
+    ):
+        graph = causal_graph
+
+        def train(minibatch: bool):
+            model = make_backbone(
+                "gcn", graph.num_features, 16, np.random.default_rng(0)
+            )
+            if minibatch:
+                fit_minibatch(
+                    model,
+                    graph.features,
+                    graph.adjacency,
+                    graph.labels,
+                    graph.train_mask,
+                    graph.val_mask,
+                    epochs=40,
+                    fanouts=(None,),
+                    batch_size=graph.num_nodes,
+                    rng=0,
+                    cache_epochs=cache_epochs,
+                )
+                return predict_logits_batched(
+                    model, graph.features, graph.adjacency
+                )
+            fit_binary_classifier(
+                model,
+                Tensor(graph.features),
+                graph.adjacency,
+                graph.labels,
+                graph.train_mask,
+                graph.val_mask,
+                epochs=40,
+            )
+            return predict_logits(model, Tensor(graph.features), graph.adjacency)
+
+        np.testing.assert_allclose(train(True), train(False), atol=1e-9)
+
+    @pytest.mark.parametrize("cache_epochs", [1, 4])
+    def test_fairrf_covering_matches_fullbatch(self, causal_graph, cache_epochs):
+        graph = causal_graph
+
+        def run(**extra):
+            logits, _ = FairRF(epochs=60, patience=None, **extra)._train_logits(
+                graph, np.random.default_rng(0)
+            )
+            return evaluate_predictions(
+                logits,
+                graph.labels,
+                graph.sensitive,
+                np.ones(graph.num_nodes, dtype=bool),
+            )
+
+        full = run()
+        covering = run(
+            minibatch=True,
+            batch_size=2048,
+            fanouts=(None,),
+            cache_epochs=cache_epochs,
+        )
+        assert abs(full.accuracy - covering.accuracy) < 1e-9
+        assert abs(full.delta_sp - covering.delta_sp) < 1e-9
+
+
+class TestSampledCacheDeterminism:
+    def _run(self, graph, cache_epochs, seed):
+        model = make_backbone(
+            "sage", graph.num_features, 16, np.random.default_rng(seed),
+            num_layers=2,
+        )
+        history = fit_minibatch(
+            model,
+            graph.features,
+            graph.adjacency,
+            graph.labels,
+            graph.train_mask,
+            graph.val_mask,
+            epochs=10,
+            fanouts=(5, 5),
+            batch_size=64,
+            rng=seed,
+            cache_epochs=cache_epochs,
+        )
+        return history, predict_logits_batched(
+            model, graph.features, graph.adjacency
+        )
+
+    @pytest.mark.parametrize("cache_epochs", [1, 2, 5])
+    def test_deterministic_given_seed_and_window(self, causal_graph, cache_epochs):
+        _, first = self._run(causal_graph, cache_epochs, seed=1)
+        _, second = self._run(causal_graph, cache_epochs, seed=1)
+        np.testing.assert_array_equal(first, second)
+
+    def test_cached_run_stays_competitive(self, causal_graph):
+        graph = causal_graph
+        test = graph.test_mask
+        _, fresh = self._run(graph, cache_epochs=1, seed=0)
+        _, cached = self._run(graph, cache_epochs=5, seed=0)
+        fresh_acc = ((fresh[test] > 0).astype(int) == graph.labels[test]).mean()
+        cached_acc = ((cached[test] > 0).astype(int) == graph.labels[test]).mean()
+        assert cached_acc >= fresh_acc - 0.1
+
+    def test_history_records_epoch_seconds(self, causal_graph):
+        history, _ = self._run(causal_graph, cache_epochs=2, seed=0)
+        assert len(history.epoch_train_seconds) == len(history.train_loss)
+        assert all(seconds >= 0 for seconds in history.epoch_train_seconds)
+
+
+class TestEngineContracts:
+    def _engine(self, graph, **extra):
+        model = make_backbone(
+            "gcn", graph.num_features, 8, np.random.default_rng(0)
+        )
+        params = dict(fanouts=(5,), batch_size=64)
+        params.update(extra)
+        return model, MinibatchEngine(
+            model, graph.features, graph.adjacency, **params
+        )
+
+    def _bce_loss(self, graph):
+        def loss_fn(step):
+            return binary_cross_entropy_with_logits(
+                step.output, graph.labels[step.batch].astype(np.float64)
+            )
+
+        return loss_fn
+
+    def test_rejects_bad_arguments(self, causal_graph):
+        graph = causal_graph
+        model, engine = self._engine(graph)
+        val = np.where(graph.val_mask)[0]
+        run = dict(
+            loss_fn=self._bce_loss(graph),
+            rng=0,
+            val_nodes=val,
+            val_labels=graph.labels[val],
+        )
+        train = np.where(graph.train_mask)[0]
+        with pytest.raises(ValueError, match="epochs"):
+            engine.run(train, 0, **run)
+        with pytest.raises(ValueError, match="checkpoint"):
+            engine.run(train, 1, checkpoint="bogus", **run)
+        with pytest.raises(ValueError, match="forward"):
+            engine.run(train, 1, forward="bogus", **run)
+        with pytest.raises(ValueError, match="nodes"):
+            engine.run(np.array([], dtype=np.int64), 1, **run)
+        with pytest.raises(ValueError, match="cache_epochs"):
+            self._engine(graph, cache_epochs=0)
+        with pytest.raises(ValueError, match="fanouts"):
+            self._engine(graph, fanouts=(5, 5))  # 1-layer model
+
+    def test_best_checkpoint_restores_best_state(self, causal_graph):
+        graph = causal_graph
+        model, engine = self._engine(graph)
+        val = np.where(graph.val_mask)[0]
+        history = engine.run(
+            np.where(graph.train_mask)[0],
+            15,
+            self._bce_loss(graph),
+            0,
+            val_nodes=val,
+            val_labels=graph.labels[val],
+            patience=None,
+        )
+        final = engine.predict(val)
+        final_acc = ((final > 0).astype(int) == graph.labels[val]).mean()
+        assert final_acc == pytest.approx(history.best_val_accuracy)
+        assert history.best_epoch >= 0
+
+    def test_floor_checkpoint_stops_on_violation(self, causal_graph):
+        """A destructive objective (maximise BCE) must trip the zero
+        floor within a few epochs and restore the pre-violation state."""
+        graph = causal_graph
+        model, engine = self._engine(graph)
+        val = np.where(graph.val_mask)[0]
+
+        def destructive(step):
+            return binary_cross_entropy_with_logits(
+                step.output, graph.labels[step.batch].astype(np.float64)
+            ) * -100.0
+
+        # val_tolerance=0.0 makes the pre-training validation accuracy the
+        # floor itself; measure it before the run so the restore assertion
+        # below is exact regardless of how many epochs the violation takes.
+        initial = engine.predict(val)
+        floor = ((initial > 0).astype(int) == graph.labels[val]).mean()
+
+        history = engine.run(
+            np.where(graph.train_mask)[0],
+            30,
+            destructive,
+            0,
+            val_nodes=val,
+            val_labels=graph.labels[val],
+            checkpoint="floor",
+            val_tolerance=0.0,
+        )
+        assert history.stopped_early
+        assert len(history.val_accuracy) < 30
+        # The violating epoch's accuracy is what tripped the stop...
+        assert history.val_accuracy[-1] < floor
+        # ...and the restored state respects the floor it was
+        # checkpointed under (the initial state, or a later one at or
+        # above the floor — never the post-violation weights).
+        restored = engine.predict(val)
+        restored_acc = ((restored > 0).astype(int) == graph.labels[val]).mean()
+        assert restored_acc >= floor
+
+    def test_embed_forward_feeds_representations(self, causal_graph):
+        graph = causal_graph
+        model, engine = self._engine(graph)
+        seen_shapes = []
+
+        def loss_fn(step):
+            seen_shapes.append(step.output.shape)
+            logits = model.head(step.output).reshape(-1)
+            return binary_cross_entropy_with_logits(
+                logits, graph.labels[step.batch].astype(np.float64)
+            )
+
+        val = np.where(graph.val_mask)[0]
+        engine.run(
+            np.where(graph.train_mask)[0],
+            2,
+            loss_fn,
+            0,
+            val_nodes=val,
+            val_labels=graph.labels[val],
+            forward="embed",
+        )
+        assert all(len(shape) == 2 and shape[1] == 8 for shape in seen_shapes)
+
+    def test_seed_fn_extends_seeds_and_carries_payload(self, causal_graph):
+        graph = causal_graph
+        model, engine = self._engine(graph)
+        extras = np.array([0, 1, 2])
+
+        def seed_fn(batch, rng):
+            return np.unique(np.concatenate([batch, extras])), "tag"
+
+        payloads = []
+
+        def loss_fn(step):
+            payloads.append(step.payload)
+            assert np.isin(extras, step.seeds).all()
+            assert step.output.shape[0] == step.seeds.size
+            local = step.local_index(step.batch)
+            np.testing.assert_array_equal(step.seeds[local], step.batch)
+            return binary_cross_entropy_with_logits(
+                step.output[local], graph.labels[step.batch].astype(np.float64)
+            )
+
+        val = np.where(graph.val_mask)[0]
+        engine.run(
+            np.where(graph.train_mask)[0],
+            2,
+            loss_fn,
+            0,
+            val_nodes=val,
+            val_labels=graph.labels[val],
+            sort_batches=True,
+            seed_fn=seed_fn,
+        )
+        assert payloads and all(payload == "tag" for payload in payloads)
+
+    def test_epoch_callback_order(self, causal_graph):
+        graph = causal_graph
+        model, engine = self._engine(graph)
+        events = []
+
+        def loss_fn(step):
+            if not events or events[-1] != ("step", step.epoch):
+                events.append(("step", step.epoch))
+            return binary_cross_entropy_with_logits(
+                step.output, graph.labels[step.batch].astype(np.float64)
+            )
+
+        val = np.where(graph.val_mask)[0]
+        engine.run(
+            np.where(graph.train_mask)[0],
+            2,
+            loss_fn,
+            0,
+            val_nodes=val,
+            val_labels=graph.labels[val],
+            on_epoch_start=lambda epoch: events.append(("start", epoch)),
+            on_epoch_end=lambda epoch: events.append(("end", epoch)),
+        )
+        assert events == [
+            ("start", 0), ("step", 0), ("end", 0),
+            ("start", 1), ("step", 1), ("end", 1),
+        ]
