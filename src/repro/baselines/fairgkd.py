@@ -112,6 +112,11 @@ class FairGKD(BaselineMethod):
         super().__init__(**kwargs)
         if distill_weight < 0:
             raise ValueError(f"distill_weight must be non-negative, got {distill_weight}")
+        if teacher_epochs is not None and teacher_epochs < 1:
+            # Reject rather than letting a falsy 0 fall back to self.epochs.
+            raise ValueError(
+                f"teacher_epochs must be >= 1 or None, got {teacher_epochs}"
+            )
         self.distill_weight = distill_weight
         self.teacher_epochs = teacher_epochs
         self.minibatch = minibatch
@@ -121,7 +126,9 @@ class FairGKD(BaselineMethod):
 
     # ------------------------------------------------------------------ #
     def _train_logits(self, graph: Graph, rng: np.random.Generator):
-        teacher_epochs = self.teacher_epochs or self.epochs
+        teacher_epochs = (
+            self.epochs if self.teacher_epochs is None else self.teacher_epochs
+        )
         features = Tensor(graph.features)
         if self.minibatch:
             # Validate the whole sampling configuration before any work:

@@ -86,6 +86,11 @@ class KSMOTE(BaselineMethod):
         super().__init__(**kwargs)
         if num_clusters < 2:
             raise ValueError(f"need at least 2 clusters, got {num_clusters}")
+        if kmeans_batch_size is not None and kmeans_batch_size < 1:
+            # Reject rather than letting a falsy 0 fall back to batch_size.
+            raise ValueError(
+                f"kmeans_batch_size must be >= 1 or None, got {kmeans_batch_size}"
+            )
         self.num_clusters = num_clusters
         self.parity_weight = parity_weight
         self.oversample = oversample
@@ -104,7 +109,11 @@ class KSMOTE(BaselineMethod):
                 graph.features,
                 self.num_clusters,
                 rng,
-                batch_size=self.kmeans_batch_size or self.batch_size,
+                batch_size=(
+                    self.batch_size
+                    if self.kmeans_batch_size is None
+                    else self.kmeans_batch_size
+                ),
             )
         else:
             clusters, _, _ = kmeans(graph.features, self.num_clusters, rng)

@@ -122,7 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="R",
-        help="rebuild the counterfactual index every R fine-tune epochs",
+        help="refresh the counterfactual index every R fine-tune epochs",
+    )
+    run_parser.add_argument(
+        "--cf-update",
+        choices=("rebuild", "incremental"),
+        default="rebuild",
+        help="how an ANN refresh maintains the forest: rebuild from scratch "
+        "or incrementally re-route only drifted points",
     )
 
     audit_parser = sub.add_parser("audit", help="bias audit of a dataset")
@@ -183,6 +190,7 @@ def _cmd_run(args) -> str:
         cache_epochs=args.cache_epochs,
         cf_backend=args.cf_backend,
         cf_refresh_epochs=args.cf_refresh,
+        cf_update=args.cf_update,
     )
     mode = ""
     if args.minibatch:
@@ -197,6 +205,8 @@ def _cmd_run(args) -> str:
             mode += f" cache-epochs={args.cache_epochs}"
     if args.method == "fairwos" and args.cf_backend != "exact":
         mode += f", cf-backend={args.cf_backend}"
+        if args.cf_update != "rebuild":
+            mode += f" cf-update={args.cf_update}"
     return (
         f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}"
         f"{mode}):\n  {result.test}\n  trained in {result.seconds:.1f}s"

@@ -30,6 +30,25 @@ ascending point id for determinism.
 candidate through :func:`exact_topk` — the property-test harness uses this
 to prove the ANN plumbing (masking, padding, cycling) exactly reproduces
 the oracle.
+
+Incremental maintenance
+-----------------------
+Fine-tune embeddings drift slowly between adjacent refreshes, so rebuilding
+the whole forest every ``cf_refresh_epochs`` wastes most of its work.
+:meth:`RPForestIndex.update` amortises it: *every* point's coordinates are
+refreshed (distance ranking — and therefore exhaustive probing — is always
+exact over the new matrix), but only points whose embedding moved more than
+``drift_threshold`` are re-routed through the existing split planes
+(leaf-level removal + greedy re-descent).  A leaf that collects more than
+``leaf_size * overflow_factor`` points is lazily rebuilt as a local subtree
+spliced into the tree arrays, keeping per-query candidate counts bounded.
+When the drifted fraction exceeds ``rebuild_frac`` the update escapes to a
+full :meth:`~RPForestIndex.build` — re-routing most of the index through
+stale split planes would cost nearly as much and erode recall.
+:class:`AnnBackend` exposes the policy as ``update="rebuild"|"incremental"``;
+each :meth:`~AnnBackend.prepare` then either rebuilds the forest or applies
+an in-place update (falling back to a build when the point-set shape
+changed).
 """
 
 from __future__ import annotations
@@ -41,6 +60,7 @@ import numpy as np
 __all__ = [
     "EXHAUSTIVE",
     "RPForestIndex",
+    "UpdateReport",
     "exact_topk",
     "ExactBackend",
     "AnnBackend",
@@ -97,6 +117,23 @@ def exact_topk(
     return candidate_ids[top]
 
 
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one :meth:`RPForestIndex.update` call did.
+
+    ``num_moved`` counts points whose drift exceeded the threshold;
+    ``rebuilt`` is True when the drifted fraction tripped the
+    ``rebuild_frac`` escape hatch and the whole forest was rebuilt instead;
+    ``splits`` counts overflowing leaves lazily rebuilt as subtrees.
+    """
+
+    num_points: int
+    num_moved: int
+    moved_fraction: float
+    rebuilt: bool
+    splits: int = 0
+
+
 @dataclass
 class _Tree:
     """One random-projection tree in array form.
@@ -104,6 +141,13 @@ class _Tree:
     ``children`` entries ``>= 0`` are internal-node indices; negative entries
     encode leaves as ``-(leaf_id + 1)``.  ``root`` follows the same encoding
     (a tree small enough to be a single leaf has no internal nodes).
+
+    ``point_leaf`` maps each indexed point to its current leaf id — the
+    routing table incremental updates edit in place; ``leaf_indptr`` /
+    ``leaf_items`` are its CSR view, repacked after every update.  ``depth``
+    is an upper bound on the root-to-leaf path length (exact after a build,
+    conservatively widened by subtree splices) sizing the recorded-descent
+    arrays of multi-probe queries.
     """
 
     directions: np.ndarray  # (num_internal, d)
@@ -111,9 +155,14 @@ class _Tree:
     children: np.ndarray  # (num_internal, 2)
     leaf_indptr: np.ndarray  # (num_leaves + 1,)
     leaf_items: np.ndarray  # (N,)
+    point_leaf: np.ndarray  # (N,)
     root: int
     depth: int
     max_leaf: int
+
+    @property
+    def num_leaves(self) -> int:
+        return self.leaf_indptr.shape[0] - 1
 
 
 class RPForestIndex:
@@ -134,6 +183,16 @@ class RPForestIndex:
     chunk_size:
         Queries processed per vectorized block (bounds peak memory at
         ``chunk_size × num_trees × probes × leaf_size × d`` floats).
+    drift_threshold:
+        Default drift detector of :meth:`update`: a point is re-routed when
+        its embedding moved more than this L2 distance since the last
+        build/update (0 = any movement counts).
+    rebuild_frac:
+        Default escape hatch of :meth:`update`: when more than this fraction
+        of points drifted, fall back to a full rebuild.
+    overflow_factor:
+        A leaf collecting more than ``leaf_size * overflow_factor`` points
+        during updates is lazily rebuilt as a local subtree.
     """
 
     def __init__(
@@ -143,6 +202,9 @@ class RPForestIndex:
         probes: int = 2,
         seed: int = 0,
         chunk_size: int = 512,
+        drift_threshold: float = 0.0,
+        rebuild_frac: float = 0.5,
+        overflow_factor: float = 4.0,
     ) -> None:
         if num_trees < 1:
             raise ValueError(f"num_trees must be >= 1, got {num_trees}")
@@ -152,14 +214,28 @@ class RPForestIndex:
             raise ValueError(f"probes must be >= 1 or 'exhaustive', got {probes}")
         if chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if drift_threshold < 0:
+            raise ValueError(
+                f"drift_threshold must be non-negative, got {drift_threshold}"
+            )
+        if not 0.0 < rebuild_frac <= 1.0:
+            raise ValueError(f"rebuild_frac must be in (0, 1], got {rebuild_frac}")
+        if overflow_factor < 1.0:
+            raise ValueError(
+                f"overflow_factor must be >= 1, got {overflow_factor}"
+            )
         self.num_trees = num_trees
         self.leaf_size = leaf_size
         self.probes = probes
         self.seed = seed
         self.chunk_size = chunk_size
+        self.drift_threshold = drift_threshold
+        self.rebuild_frac = rebuild_frac
+        self.overflow_factor = overflow_factor
         self._points: np.ndarray | None = None
         self._norms: np.ndarray | None = None
         self._trees: list[_Tree] = []
+        self._update_count = 0
 
     # ------------------------------------------------------------------ #
     @property
@@ -181,13 +257,27 @@ class RPForestIndex:
             raise ValueError(f"expected a non-empty (N, d) matrix, got {X.shape}")
         self._points = X
         self._norms = (X**2).sum(axis=1)
+        self._update_count = 0
         rng = np.random.default_rng(self.seed)
         self._trees = [self._build_tree(X, rng) for _ in range(self.num_trees)]
         return self
 
     # ------------------------------------------------------------------ #
-    def _build_tree(self, X: np.ndarray, rng: np.random.Generator) -> _Tree:
+    def _build_tree(
+        self,
+        X: np.ndarray,
+        rng: np.random.Generator,
+        members: np.ndarray | None = None,
+    ) -> _Tree:
+        """Build one tree over ``members`` (default: every row of ``X``).
+
+        ``point_leaf`` is sized for the whole point set regardless, so a
+        subtree built over a leaf's members (the lazy-split path) can be
+        spliced into a full tree without reindexing.
+        """
         n, dim = X.shape
+        if members is None:
+            members = np.arange(n, dtype=np.int64)
         directions: list[np.ndarray] = []
         thresholds: list[float] = []
         children: list[list[int]] = []
@@ -196,7 +286,7 @@ class RPForestIndex:
         # Stack entries: (members, parent node, side, level).  LIFO order is
         # deterministic, so rng consumption (one direction per split) is too.
         stack: list[tuple[np.ndarray, int, int, int]] = [
-            (np.arange(n, dtype=np.int64), -1, 0, 0)
+            (members, -1, 0, 0)
         ]
         root = 0
         while stack:
@@ -227,6 +317,13 @@ class RPForestIndex:
             else:
                 root = ref
         leaf_sizes = np.array([leaf.size for leaf in leaves], dtype=np.int64)
+        leaf_items = (
+            np.concatenate(leaves) if leaves else np.empty(0, dtype=np.int64)
+        )
+        point_leaf = np.full(n, -1, dtype=np.int64)
+        point_leaf[leaf_items] = np.repeat(
+            np.arange(leaf_sizes.size, dtype=np.int64), leaf_sizes
+        )
         return _Tree(
             directions=(
                 np.array(directions) if directions else np.empty((0, dim))
@@ -238,13 +335,223 @@ class RPForestIndex:
                 else np.empty((0, 2), dtype=np.int64)
             ),
             leaf_indptr=np.concatenate(([0], np.cumsum(leaf_sizes))),
-            leaf_items=(
-                np.concatenate(leaves) if leaves else np.empty(0, dtype=np.int64)
-            ),
+            leaf_items=leaf_items,
+            point_leaf=point_leaf,
             root=root,
             depth=depth,
             max_leaf=int(leaf_sizes.max()),
         )
+
+    # ------------------------------------------------------------------ #
+    def update(
+        self,
+        X: np.ndarray,
+        moved: np.ndarray | None = None,
+        drift_threshold: float | None = None,
+        rebuild_frac: float | None = None,
+    ) -> UpdateReport:
+        """In-place maintenance over a drifted point matrix; returns a report.
+
+        Every point's coordinates (and norms) are refreshed, so distance
+        ranking — and therefore ``probes="exhaustive"`` — is always exact
+        over the new matrix.  Only points that *drifted* are re-routed:
+        removed from their current leaf and greedily re-descended through
+        the existing split planes of every tree.  Leaves that collect more
+        than ``leaf_size * overflow_factor`` points are lazily rebuilt as
+        local subtrees.  When the drifted fraction exceeds ``rebuild_frac``
+        the whole forest is rebuilt instead (``report.rebuilt``), identical
+        to a fresh :meth:`build` over ``X``.
+
+        Parameters
+        ----------
+        X:
+            ``(N, d)`` new point matrix; must match the built shape (a
+            changed point *set* needs a rebuild, not an update).
+        moved:
+            Optional explicit drifted set — int ids or an ``(N,)`` boolean
+            mask.  Default: detect via per-point L2 deltas against the
+            stored matrix, using ``drift_threshold``.  Mutually exclusive
+            with ``drift_threshold``: an explicit set is re-routed as
+            given, never re-filtered by the detector.
+        drift_threshold, rebuild_frac:
+            Per-call overrides of the constructor defaults.
+
+        Updates are deterministic: the same index state and the same
+        arguments always produce the same forest (subtree splits draw from
+        a generator seeded by ``(seed, update counter, tree, leaf)``).
+        """
+        if self._points is None:
+            raise RuntimeError("call build() before update()")
+        X = np.asarray(X, dtype=np.float64)
+        if X.shape != self._points.shape:
+            raise ValueError(
+                f"update() requires the built shape {self._points.shape}, got "
+                f"{X.shape}; use build() when the point set changes"
+            )
+        if moved is None:
+            threshold = (
+                self.drift_threshold if drift_threshold is None else drift_threshold
+            )
+            if threshold < 0:
+                raise ValueError(
+                    f"drift_threshold must be non-negative, got {threshold}"
+                )
+            deltas = np.sqrt(((X - self._points) ** 2).sum(axis=1))
+            moved = np.flatnonzero(deltas > threshold)
+        else:
+            if drift_threshold is not None:
+                raise ValueError(
+                    "pass either moved or drift_threshold, not both — an "
+                    "explicit moved set is re-routed as given, never "
+                    "re-filtered by the drift detector"
+                )
+            moved = np.asarray(moved)
+            if moved.dtype == bool:
+                if moved.shape != (self.num_points,):
+                    raise ValueError(
+                        f"boolean moved mask must have {self.num_points} "
+                        f"entries, got {moved.shape}"
+                    )
+                moved = np.flatnonzero(moved)
+            else:
+                moved = np.unique(moved.astype(np.int64))
+                if moved.size and (
+                    moved[0] < 0 or moved[-1] >= self.num_points
+                ):
+                    raise ValueError("moved ids out of range")
+        fraction = moved.size / self.num_points
+        limit = self.rebuild_frac if rebuild_frac is None else rebuild_frac
+        if not 0.0 < limit <= 1.0:
+            raise ValueError(f"rebuild_frac must be in (0, 1], got {limit}")
+        if fraction > limit:
+            self.build(X)
+            return UpdateReport(
+                num_points=self.num_points,
+                num_moved=int(moved.size),
+                moved_fraction=fraction,
+                rebuilt=True,
+            )
+
+        self._update_count += 1
+        self._points = np.array(X, copy=True)
+        self._norms = (self._points**2).sum(axis=1)
+        splits = 0
+        if moved.size:
+            queries = self._points[moved]
+            for tree_id, tree in enumerate(self._trees):
+                splits += self._reroute(tree, tree_id, moved, queries)
+        return UpdateReport(
+            num_points=self.num_points,
+            num_moved=int(moved.size),
+            moved_fraction=fraction,
+            rebuilt=False,
+            splits=splits,
+        )
+
+    def _reroute(
+        self,
+        tree: _Tree,
+        tree_id: int,
+        moved: np.ndarray,
+        queries: np.ndarray,
+    ) -> int:
+        """Re-descend ``moved`` points in one tree; returns leaves split."""
+        start = np.full(moved.size, tree.root, dtype=np.int64)
+        new_leaf = self._greedy_descent(tree, queries, start)
+        changed = new_leaf != tree.point_leaf[moved]
+        if not changed.any():
+            return 0
+        tree.point_leaf[moved[changed]] = new_leaf[changed]
+        # Lazy subtree rebuild of overflowing leaves: only leaves that just
+        # gained points can newly overflow.
+        overflow = int(self.leaf_size * self.overflow_factor)
+        counts = np.bincount(tree.point_leaf, minlength=tree.num_leaves)
+        splits = 0
+        for leaf_id in np.unique(new_leaf[changed]):
+            if counts[leaf_id] > overflow:
+                self._split_leaf(tree, tree_id, int(leaf_id))
+                splits += 1
+        self._repack_leaves(tree)
+        return splits
+
+    def _split_leaf(self, tree: _Tree, tree_id: int, leaf_id: int) -> None:
+        """Rebuild an overflowing leaf as a subtree spliced into ``tree``.
+
+        The old leaf id is left orphaned (no path reaches it after the
+        splice); new leaves are appended, so leaf ids stay stable for every
+        other point.
+        """
+        members = np.flatnonzero(tree.point_leaf == leaf_id)
+        rng = np.random.default_rng(
+            [self.seed, self._update_count, tree_id, leaf_id]
+        )
+        sub = self._build_tree(self._points, rng, members=members)
+        num_internal = tree.directions.shape[0]
+        num_leaves = tree.num_leaves
+        # Remap subtree refs into the host arrays: internal nodes shift by
+        # the host's internal count, leaves by its leaf count (the negative
+        # encoding -(leaf_id + 1) shifts by subtracting).
+        children = sub.children.copy()
+        children[children >= 0] += num_internal
+        children[children < 0] -= num_leaves
+        sub_root = (
+            sub.root + num_internal if sub.root >= 0 else sub.root - num_leaves
+        )
+        tree.directions = np.concatenate([tree.directions, sub.directions])
+        tree.thresholds = np.concatenate([tree.thresholds, sub.thresholds])
+        tree.children = np.concatenate([tree.children, children])
+        old_ref = -(leaf_id + 1)
+        if tree.root == old_ref:
+            tree.root = sub_root
+        else:
+            where = np.argwhere(tree.children[:num_internal] == old_ref)
+            tree.children[where[0, 0], where[0, 1]] = sub_root
+        sub_sizes = np.diff(sub.leaf_indptr)
+        tree.point_leaf[sub.leaf_items] = num_leaves + np.repeat(
+            np.arange(sub_sizes.size, dtype=np.int64), sub_sizes
+        )
+        # Extend the CSR leaf view with empty slots for the new leaf ids
+        # (the caller repacks from point_leaf right after).
+        tree.leaf_indptr = np.concatenate(
+            [tree.leaf_indptr,
+             np.full(sub_sizes.size, tree.leaf_indptr[-1], dtype=np.int64)]
+        )
+        self._recompute_depth(tree)
+
+    @staticmethod
+    def _recompute_depth(tree: _Tree) -> None:
+        """Exact max root-to-leaf decision count after a splice.
+
+        Node indices are topologically ordered — a child's index always
+        exceeds its parent's, both in the original build (stack order) and
+        after splices (subtree nodes are appended) — so one forward pass
+        yields every internal node's level.  Keeping the bound exact
+        matters: multi-probe queries allocate their recorded-descent
+        arrays at ``(chunk, depth)``, so a merely conservative bound would
+        inflate every query's work a little more with each split.
+        """
+        num_internal = tree.directions.shape[0]
+        if tree.root < 0 or num_internal == 0:
+            tree.depth = 0
+            return
+        levels = np.zeros(num_internal, dtype=np.int64)
+        for node in range(num_internal):
+            for child in tree.children[node]:
+                if child >= 0:
+                    levels[child] = levels[node] + 1
+        # The deepest internal node's children are leaves, one level down.
+        tree.depth = int(levels.max()) + 1
+
+    @staticmethod
+    def _repack_leaves(tree: _Tree) -> None:
+        """Rebuild the CSR leaf view from ``point_leaf`` (O(N))."""
+        counts = np.bincount(tree.point_leaf, minlength=tree.num_leaves)
+        order = np.argsort(tree.point_leaf, kind="stable")
+        tree.leaf_items = order.astype(np.int64)
+        tree.leaf_indptr = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+        tree.max_leaf = int(counts.max())
 
     # ------------------------------------------------------------------ #
     def _greedy_descent(self, tree: _Tree, Q: np.ndarray, start: np.ndarray) -> np.ndarray:
@@ -465,6 +772,14 @@ class AnnBackend:
 
     ``exhaustive=True`` keeps the index but routes every query through
     brute-force ranking — the bridge used to prove the ANN plumbing exact.
+
+    ``update`` selects the refresh policy of :meth:`prepare`:
+    ``"rebuild"`` (default) reconstructs the forest from scratch every
+    call; ``"incremental"`` applies :meth:`RPForestIndex.update` instead —
+    re-routing only drifted points per ``drift_threshold``, escaping to a
+    full rebuild past ``rebuild_frac`` — whenever a forest over the same
+    point-set shape is already standing.  ``last_report`` carries the most
+    recent :class:`UpdateReport` (None after a from-scratch build).
     """
 
     name = "ann"
@@ -477,24 +792,46 @@ class AnnBackend:
         seed: int = 0,
         chunk_size: int = 512,
         exhaustive: bool = False,
+        update: str = "rebuild",
+        drift_threshold: float = 0.0,
+        rebuild_frac: float = 0.5,
+        overflow_factor: float = 4.0,
     ) -> None:
+        if update not in ("rebuild", "incremental"):
+            raise ValueError(
+                f"update must be 'rebuild' or 'incremental', got {update!r}"
+            )
         self._index = RPForestIndex(
             num_trees=num_trees,
             leaf_size=leaf_size,
             probes=probes,
             seed=seed,
             chunk_size=chunk_size,
+            drift_threshold=drift_threshold,
+            rebuild_frac=rebuild_frac,
+            overflow_factor=overflow_factor,
         )
         self.exhaustive = exhaustive
+        self.update_mode = update
+        self.last_report: UpdateReport | None = None
 
     @property
     def index(self) -> RPForestIndex:
-        """The underlying forest (rebuilt on every :meth:`prepare`)."""
+        """The underlying forest (refreshed on every :meth:`prepare`)."""
         return self._index
 
     def prepare(self, points: np.ndarray) -> None:
-        """Rebuild the forest over the current representations."""
-        self._index.build(points)
+        """Refresh the forest over the current representations."""
+        points = np.asarray(points, dtype=np.float64)
+        if (
+            self.update_mode == "incremental"
+            and self._index.num_points
+            and self._index.points.shape == points.shape
+        ):
+            self.last_report = self._index.update(points)
+        else:
+            self._index.build(points)
+            self.last_report = None
 
     def topk(
         self, query_ids: np.ndarray, candidate_ids: np.ndarray, k: int

@@ -54,9 +54,20 @@ class FairwosConfig:
     ``minibatch`` so ``minibatch=True`` makes all three phases sampled.
     ``cf_backend`` selects the counterfactual search backend — ``"exact"``
     (the O(N²) oracle) or ``"ann"`` (random-projection forest; options via
-    ``cf_backend_options``).  ``cf_refresh_epochs`` rebuilds the
+    ``cf_backend_options``).  ``cf_refresh_epochs`` refreshes the
     counterfactual index (and the ANN forest) every R fine-tune epochs;
     ``None`` falls back to ``refresh_counterfactuals_every``.
+
+    ``cf_update`` selects how an ANN refresh maintains the forest:
+    ``"rebuild"`` (default) reconstructs it from scratch every refresh;
+    ``"incremental"`` re-routes only points whose embedding moved more than
+    ``cf_drift_threshold`` (L2) since the last refresh, escaping to a full
+    rebuild when the drifted fraction exceeds ``cf_rebuild_frac`` — the
+    distance ranking always uses the fresh embeddings either way, only the
+    tree routing is maintained lazily (see
+    :meth:`repro.core.ann.RPForestIndex.update`).  Requires the ``"ann"``
+    backend.  Every refresh still invalidates the sampling cache, so the
+    ``cache_epochs`` interaction above is unchanged.
     ``cf_attrs_per_step`` bounds the sampled fine-tune's per-step receptive
     field: each optimizer step draws that many pseudo-sensitive attributes
     uniformly and rescales the fair loss by I/M (an unbiased estimator of
@@ -97,6 +108,9 @@ class FairwosConfig:
     cf_backend_options: dict | None = None
     cf_refresh_epochs: int | None = None
     cf_attrs_per_step: int | None = None
+    cf_update: str = "rebuild"
+    cf_drift_threshold: float = 1e-2
+    cf_rebuild_frac: float = 0.5
 
     def validate(self) -> None:
         """Raise ``ValueError`` for inconsistent settings."""
@@ -104,6 +118,20 @@ class FairwosConfig:
             raise ValueError("hidden_dim and encoder_dim must be positive")
         if self.alpha < 0:
             raise ValueError(f"alpha must be non-negative, got {self.alpha}")
+        if self.learning_rate <= 0:
+            raise ValueError(
+                f"learning_rate must be positive, got {self.learning_rate}"
+            )
+        if (
+            self.finetune_learning_rate is not None
+            and self.finetune_learning_rate <= 0
+        ):
+            # An explicit 0.0 must be rejected, not silently collapsed into
+            # "follow learning_rate" (the falsy-zero bug class).
+            raise ValueError(
+                "finetune_learning_rate must be positive or None, got "
+                f"{self.finetune_learning_rate}"
+            )
         if self.top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {self.top_k}")
         if not 0.0 < self.binarize_quantile < 1.0:
@@ -132,6 +160,31 @@ class FairwosConfig:
             raise ValueError("cf_refresh_epochs must be >= 1 or None")
         if self.cf_attrs_per_step is not None and self.cf_attrs_per_step < 1:
             raise ValueError("cf_attrs_per_step must be >= 1 or None")
+        if self.cf_update not in ("rebuild", "incremental"):
+            raise ValueError(
+                f"cf_update must be 'rebuild' or 'incremental', got "
+                f"{self.cf_update!r}"
+            )
+        if self.cf_drift_threshold < 0:
+            raise ValueError(
+                f"cf_drift_threshold must be non-negative, got "
+                f"{self.cf_drift_threshold}"
+            )
+        if not 0.0 < self.cf_rebuild_frac <= 1.0:
+            raise ValueError(
+                f"cf_rebuild_frac must be in (0, 1], got {self.cf_rebuild_frac}"
+            )
+        if self.cf_update == "incremental" and not (
+            isinstance(self.cf_backend, str)
+            and self.cf_backend.lower() == "ann"
+        ):
+            raise ValueError(
+                "cf_update='incremental' maintains the ANN forest in place; "
+                "it requires cf_backend='ann' (the exact backend has no "
+                "index to maintain, and a custom backend instance must "
+                "carry its own update policy — e.g. AnnBackend("
+                "update='incremental'))"
+            )
         if self.fanouts is not None:
             if len(self.fanouts) == 0:
                 raise ValueError("fanouts must be non-empty or None")
@@ -162,3 +215,14 @@ class FairwosConfig:
         if self.cf_refresh_epochs is not None:
             return self.cf_refresh_epochs
         return self.refresh_counterfactuals_every
+
+    def resolved_finetune_lr(self) -> float:
+        """Fine-tune learning rate (``None`` → follow ``learning_rate``).
+
+        An explicit ``is None`` check, not an ``or`` fallback: a (rejected
+        by :meth:`validate`, but still) zero fine-tune rate must never
+        silently fall back to the pre-training rate.
+        """
+        if self.finetune_learning_rate is None:
+            return self.learning_rate
+        return self.finetune_learning_rate

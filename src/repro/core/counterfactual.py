@@ -86,6 +86,12 @@ class CounterfactualSearch:
     backend_options:
         Keyword options forwarded to the backend constructor (e.g.
         ``{"num_trees": 12, "probes": 4, "seed": 0}`` for ``"ann"``).
+        The ANN backend also accepts the maintenance policy here —
+        ``{"update": "incremental", "drift_threshold": ..., "rebuild_frac":
+        ...}`` makes every :meth:`search` *maintain* the standing forest
+        (re-routing only drifted points) instead of rebuilding it; see
+        :class:`repro.core.ann.AnnBackend` and
+        :meth:`repro.core.ann.RPForestIndex.update`.
     """
 
     def __init__(

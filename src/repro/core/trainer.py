@@ -37,7 +37,9 @@ from repro.nn import binary_cross_entropy_with_logits
 from repro.optim import Adam
 from repro.tensor import Tensor, no_grad
 from repro.training import (
+    IndexMaintainer,
     MinibatchEngine,
+    RefreshSchedule,
     TrainStep,
     embed_batched,
     fit_binary_classifier,
@@ -236,12 +238,19 @@ class FairwosTrainer:
 
         The ANN forest's construction seed is drawn from ``rng`` so runs stay
         reproducible per trainer seed (unless the caller pinned one in
-        ``cf_backend_options``).
+        ``cf_backend_options``).  ``cf_update="incremental"`` threads the
+        maintenance policy (drift threshold, rebuild escape hatch) into the
+        backend, whose ``prepare`` then updates the standing forest in place
+        instead of rebuilding it at every refresh.
         """
         config = self.config
         options = dict(config.cf_backend_options or {})
         if isinstance(config.cf_backend, str) and config.cf_backend.lower() == "ann":
             options.setdefault("seed", int(rng.integers(2**31)))
+            if config.cf_update != "rebuild":
+                options.setdefault("update", config.cf_update)
+                options.setdefault("drift_threshold", config.cf_drift_threshold)
+                options.setdefault("rebuild_frac", config.cf_rebuild_frac)
         return CounterfactualSearch(
             config.top_k, backend=config.cf_backend, backend_options=options
         )
@@ -264,10 +273,13 @@ class FairwosTrainer:
         train_labels = graph.labels[train_indices].astype(np.float64)
         optimizer = Adam(
             classifier.parameters(),
-            lr=config.finetune_learning_rate or config.learning_rate,
+            lr=config.resolved_finetune_lr(),
             weight_decay=config.weight_decay,
         )
         search = self._make_search(rng)
+        # The refresh cadence is hoisted into the schedule shared with the
+        # sampled path (and the IndexMaintainer), so the two cannot drift.
+        schedule = RefreshSchedule(config.resolved_cf_refresh())
         cf_index: CounterfactualIndex | None = None
         coverage = 0.0
         # "Early stop operation to preserve competitive utility": abort the
@@ -287,7 +299,7 @@ class FairwosTrainer:
         last_good_state = classifier.state_dict()
 
         for epoch in range(config.finetune_epochs):
-            if cf_index is None or epoch % config.resolved_cf_refresh() == 0:
+            if schedule.due(epoch, initialized=cf_index is not None):
                 with no_grad():
                     reps = classifier.embed(pseudo_tensor, adjacency).data
                 cf_index = search.search(reps, pseudo_labels, binary_attrs)
@@ -347,9 +359,12 @@ class FairwosTrainer:
         batch's labelled members plus the weighted fair loss on the batch's
         counterfactual pairs.  Peak memory is bounded by the batch receptive
         field; the counterfactual index is refreshed every
-        ``resolved_cf_refresh()`` epochs from exact batched embeddings (an
-        ``on_epoch_start`` callback that also invalidates the engine's
-        sampling cache, so cached seed sets never point at stale targets).
+        ``resolved_cf_refresh()`` epochs from exact batched embeddings by an
+        :class:`~repro.training.IndexMaintainer` registered as the engine's
+        ``on_epoch_start`` callback (it also invalidates the engine's
+        sampling cache, so cached seed sets never point at stale targets;
+        with ``cf_update="incremental"`` each refresh maintains the ANN
+        forest in place instead of rebuilding it).
         The validation floor / checkpoint contract is the engine's
         ``"floor"`` policy, mirroring the full-batch :meth:`_finetune`.
 
@@ -376,12 +391,11 @@ class FairwosTrainer:
             cache_epochs=config.cache_epochs,
             optimizer=Adam(
                 classifier.parameters(),
-                lr=config.finetune_learning_rate or config.learning_rate,
+                lr=config.resolved_finetune_lr(),
                 weight_decay=config.weight_decay,
             ),
         )
         search = self._make_search(rng)
-        refresh = config.resolved_cf_refresh()
         cf_index: CounterfactualIndex | None = None
         coverage = 0.0
         running_disparities = np.zeros(num_attrs)
@@ -390,25 +404,32 @@ class FairwosTrainer:
         disparity_sums = np.zeros(num_attrs)
         disparity_counts = np.zeros(num_attrs)
 
-        def on_epoch_start(epoch: int) -> None:
+        def refresh_index(epoch: int) -> None:
             nonlocal cf_index, coverage, running_disparities
+            reps = embed_batched(
+                classifier,
+                feature_array,
+                graph.adjacency,
+                batch_size=config.batch_size,
+            )
+            cf_index = search.search(reps, pseudo_labels, binary_attrs)
+            coverage = cf_index.coverage()
+            # Snapshot disparities for every attribute so the λ update
+            # has a current estimate even for attributes a subsampling
+            # epoch never draws (they must not read as "perfectly fair").
+            running_disparities = _snapshot_disparities(reps, cf_index)
+
+        # Refreshes on the shared schedule; every refresh also invalidates
+        # the engine's sampling cache so cached batch structure built on
+        # the old index is resampled.
+        maintainer = IndexMaintainer(
+            refresh_index, config.resolved_cf_refresh(), engine=engine
+        )
+
+        def on_epoch_start(epoch: int) -> None:
             nonlocal epoch_utility, epoch_fair, train_seen
             nonlocal disparity_sums, disparity_counts
-            if cf_index is None or epoch % refresh == 0:
-                reps = embed_batched(
-                    classifier,
-                    feature_array,
-                    graph.adjacency,
-                    batch_size=config.batch_size,
-                )
-                cf_index = search.search(reps, pseudo_labels, binary_attrs)
-                coverage = cf_index.coverage()
-                # Snapshot disparities for every attribute so the λ update
-                # has a current estimate even for attributes a subsampling
-                # epoch never draws (they must not read as "perfectly fair"),
-                # and resample cached batch structure built on the old index.
-                running_disparities = _snapshot_disparities(reps, cf_index)
-                engine.invalidate_cache()
+            maintainer(epoch)
             epoch_utility = epoch_fair = 0.0
             train_seen = 0
             disparity_sums = np.zeros(num_attrs)

@@ -78,6 +78,7 @@ def run_method(
     cf_backend: str = "exact",
     cf_refresh_epochs: int | None = None,
     finetune_minibatch: bool | None = None,
+    cf_update: str = "rebuild",
 ) -> MethodResult:
     """Train one method and return its evaluation.
 
@@ -109,9 +110,12 @@ def run_method(
         batch structure is refreshed every that many epochs and replayed in
         between (1 = fresh every epoch).  Applies to every
         minibatch-capable method.
-    cf_backend, cf_refresh_epochs, finetune_minibatch:
+    cf_backend, cf_refresh_epochs, finetune_minibatch, cf_update:
         Fairwos fine-tune scaling knobs (see
         :class:`~repro.core.config.FairwosConfig`); ignored by baselines.
+        ``cf_update="incremental"`` maintains the ANN forest in place
+        between refreshes instead of rebuilding it (drift threshold and
+        rebuild escape hatch via ``fairwos_config``).
     """
     key = method.lower()
     baseline_classes = {
@@ -143,11 +147,13 @@ def run_method(
         or cf_backend != "exact"
         or cf_refresh_epochs is not None
         or finetune_minibatch is not None
+        or cf_update != "rebuild"
     ):
         raise ValueError(
             "pass minibatch/counterfactual settings inside fairwos_config "
             "(minibatch/fanouts/batch_size/cache_epochs/cf_backend/"
-            "cf_refresh_epochs fields) when supplying an explicit config"
+            "cf_refresh_epochs/cf_update fields) when supplying an "
+            "explicit config"
         )
     if fairwos_config is None:
         overrides = FAIRWOS_OVERRIDES.get(graph.name, FAIRWOS_OVERRIDES["default"])
@@ -165,6 +171,7 @@ def run_method(
             cf_backend=cf_backend,
             cf_refresh_epochs=cf_refresh_epochs,
             finetune_minibatch=finetune_minibatch,
+            cf_update=cf_update,
             **overrides,
         )
     start = time.perf_counter()

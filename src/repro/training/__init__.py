@@ -10,6 +10,7 @@ instead of writing their own loop.
 
 from repro.training.engine import MinibatchEngine, TrainStep
 from repro.training.loop import FitHistory, fit_binary_classifier, predict_logits
+from repro.training.maintenance import IndexMaintainer, RefreshSchedule
 from repro.training.minibatch import (
     DEFAULT_FANOUT,
     embed_batched,
@@ -21,7 +22,9 @@ from repro.training.minibatch import (
 __all__ = [
     "DEFAULT_FANOUT",
     "FitHistory",
+    "IndexMaintainer",
     "MinibatchEngine",
+    "RefreshSchedule",
     "TrainStep",
     "embed_batched",
     "fit_binary_classifier",

@@ -26,6 +26,11 @@ best-model/val-floor checkpointing and early stopping.
   ``checkpoint="floor"`` aborts when validation accuracy falls more than
   ``val_tolerance`` below its pre-training level, restoring the last state
   above the floor (the Fairwos fine-tune recipe);
+* **a per-fit eval-block cache** — the exact validation pass folds full
+  (un-sampled) neighbourhoods that depend only on the fixed graph and val
+  split, so their block chains are built once per :meth:`MinibatchEngine.run`
+  and replayed every epoch (bit-identical metrics, the per-epoch sampling
+  constant gone);
 * **epoch-cached sampling** — with ``cache_epochs=R`` the engine records
   one epoch's batches/seeds/blocks through
   :class:`~repro.graph.sampling.EpochBlockCache` and replays them for the
@@ -321,6 +326,13 @@ class MinibatchEngine:
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if eval_batch_size is not None and eval_batch_size < 1:
+            # Explicit is-None resolution: a non-positive eval batch must be
+            # rejected, never silently collapsed into "follow batch_size"
+            # (the falsy-zero bug class).
+            raise ValueError(
+                f"eval_batch_size must be >= 1 or None, got {eval_batch_size}"
+            )
         self.model = model
         self.feature_array = _as_feature_array(features)
         self.adjacency = adjacency
@@ -334,7 +346,9 @@ class MinibatchEngine:
             )
         self.eval_sampler = NeighborSampler.full_neighborhood(adjacency, depth)
         self.batch_size = batch_size
-        self.eval_batch_size = eval_batch_size or batch_size
+        self.eval_batch_size = (
+            batch_size if eval_batch_size is None else eval_batch_size
+        )
         self.cache_epochs = int(cache_epochs)
         if self.cache_epochs < 1:
             raise ValueError(f"cache_epochs must be >= 1, got {cache_epochs}")
@@ -353,7 +367,9 @@ class MinibatchEngine:
             self.feature_array,
             self.adjacency,
             nodes=nodes,
-            batch_size=batch_size or self.eval_batch_size,
+            batch_size=(
+                self.eval_batch_size if batch_size is None else batch_size
+            ),
             sampler=self.eval_sampler,
         )
 
@@ -456,11 +472,17 @@ class MinibatchEngine:
         history = FitHistory()
         cache = EpochBlockCache(self.cache_epochs)
         self._active_cache = cache
+        # The exact validation pass folds full (un-sampled) neighbourhoods,
+        # which depend only on the fixed graph and the fixed val split —
+        # build its block chains once per fit and reuse them every epoch.
+        # Trade-off: the val set's receptive field stays resident for the
+        # whole fit (same order as one cached training epoch's structure).
+        eval_steps = self._build_eval_steps(val_nodes)
         since_best = 0
         best_state = model.state_dict()
         floor = -np.inf
         if checkpoint == "floor":
-            floor = self._validate(val_nodes, val_labels) - (
+            floor = self._validate(eval_steps, val_labels) - (
                 np.inf if val_tolerance is None else val_tolerance
             )
         try:
@@ -500,7 +522,7 @@ class MinibatchEngine:
 
                 if on_epoch_end is not None:
                     on_epoch_end(epoch)
-                val_acc = self._validate(val_nodes, val_labels)
+                val_acc = self._validate(eval_steps, val_labels)
                 history.train_loss.append(epoch_loss / nodes.size)
                 history.val_accuracy.append(val_acc)
 
@@ -545,6 +567,36 @@ class MinibatchEngine:
             cache.record(batch, seeds, payload, blocks)
             yield batch, seeds, payload, blocks
 
-    def _validate(self, val_nodes: np.ndarray, val_labels: np.ndarray) -> float:
-        logits = self.predict(val_nodes)
+    def _build_eval_steps(
+        self, nodes: np.ndarray
+    ) -> list[tuple[np.ndarray, list[Block]]]:
+        """Exact-evaluation ``(batch, blocks)`` pairs for ``nodes``.
+
+        Full-neighbourhood sampling is deterministic (it consumes no
+        randomness) and the graph never changes during a fit, so these
+        chains are built once per :meth:`run` instead of once per epoch —
+        the validation pass then only pays the forward computation.
+        """
+        rng = np.random.default_rng(0)  # never consumed by exhaustive fanout
+        return [
+            (batch, self.eval_sampler.sample_blocks(batch, rng))
+            for batch in iter_minibatches(nodes, self.eval_batch_size)
+        ]
+
+    def _validate(
+        self,
+        eval_steps: list[tuple[np.ndarray, list[Block]]],
+        val_labels: np.ndarray,
+    ) -> float:
+        """Exact validation accuracy over prebuilt eval block chains."""
+        model = self.model
+        was_training = model.training
+        model.eval()
+        parts = []
+        with no_grad():
+            for batch, blocks in eval_steps:
+                batch_features = Tensor(self.feature_array[blocks[0].src_nodes])
+                parts.append(model(batch_features, blocks).data)
+        model.train(was_training)
+        logits = np.concatenate(parts)
         return accuracy((logits > 0).astype(np.int64), val_labels)

@@ -1,0 +1,106 @@
+"""Amortised index maintenance for sampled training loops.
+
+The Fairwos fine-tune keeps a counterfactual index that must be refreshed
+as the representation space moves.  Before this module, the refresh
+*schedule* lived twice — the full-batch path evaluated
+``epoch % resolved_cf_refresh() == 0`` inside its epoch loop while the
+sampled path hoisted the cadence into a closure — and the cache
+invalidation that must accompany every refresh was hand-rolled in the
+trainer.  Two pieces own that now:
+
+* :class:`RefreshSchedule` — the single predicate deciding which epochs
+  refresh (epoch 0 or any multiple of the period, plus "not initialised
+  yet"), shared by both fine-tune paths so they cannot drift;
+* :class:`IndexMaintainer` — an engine ``on_epoch_start`` callback that
+  runs a refresh callable on the schedule and invalidates the engine's
+  sampling cache afterwards (cached seed sets must never point at stale
+  index targets).
+
+The maintainer is deliberately index-agnostic: it holds a ``refresh_fn``
+closure, not a :class:`~repro.core.counterfactual.CounterfactualSearch`,
+so the training layer stays below the core layer.  Whether a refresh
+rebuilds the ANN forest from scratch or applies an incremental
+:meth:`~repro.core.ann.RPForestIndex.update` is the backend's business
+(``cf_update`` on :class:`~repro.core.config.FairwosConfig`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["IndexMaintainer", "RefreshSchedule"]
+
+
+class RefreshSchedule:
+    """Periodic refresh predicate shared by every fine-tune path.
+
+    ``due(epoch, initialized)`` is True on every ``period``-th epoch
+    (counting from 0) and always True while the index has never been
+    built — exactly the ``cf_index is None or epoch % refresh == 0``
+    condition both trainer paths used to spell out independently.
+    """
+
+    def __init__(self, period: int) -> None:
+        if period < 1:
+            raise ValueError(f"refresh period must be >= 1, got {period}")
+        self.period = int(period)
+
+    def due(self, epoch: int, initialized: bool = True) -> bool:
+        """Whether ``epoch`` should refresh the index."""
+        return not initialized or epoch % self.period == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RefreshSchedule(period={self.period})"
+
+
+class IndexMaintainer:
+    """Engine ``on_epoch_start`` callback owning index-refresh bookkeeping.
+
+    Parameters
+    ----------
+    refresh_fn:
+        ``(epoch) -> None`` performing the actual refresh (embedding the
+        nodes and rebuilding/updating the index).  Run on epoch 0 and then
+        every ``period`` epochs.
+    period:
+        Refresh cadence in epochs (``resolved_cf_refresh()`` for Fairwos).
+    engine:
+        Optional :class:`~repro.training.engine.MinibatchEngine`; its
+        sampling cache is invalidated after every refresh so replayed seed
+        sets never reference targets of a stale index.
+
+    The maintainer is callable so it can be registered directly::
+
+        maintainer = IndexMaintainer(refresh, config.resolved_cf_refresh(),
+                                     engine=engine)
+        engine.run(..., on_epoch_start=maintainer)
+
+    ``refreshes`` counts completed refreshes (useful for amortisation
+    diagnostics and tests).
+    """
+
+    def __init__(
+        self,
+        refresh_fn: Callable[[int], None],
+        period: int,
+        engine=None,
+    ) -> None:
+        self.schedule = RefreshSchedule(period)
+        self.refresh_fn = refresh_fn
+        self.engine = engine
+        self.refreshes = 0
+
+    @property
+    def initialized(self) -> bool:
+        """Whether at least one refresh has completed."""
+        return self.refreshes > 0
+
+    def __call__(self, epoch: int) -> bool:
+        """Refresh if due; returns whether a refresh ran."""
+        if not self.schedule.due(epoch, self.initialized):
+            return False
+        self.refresh_fn(epoch)
+        self.refreshes += 1
+        if self.engine is not None:
+            self.engine.invalidate_cache()
+        return True

@@ -130,7 +130,7 @@ def fit_minibatch(
         cache_epochs=cache_epochs,
         lr=lr,
         weight_decay=weight_decay,
-        eval_batch_size=eval_batch_size or batch_size,
+        eval_batch_size=eval_batch_size,
     )
     val_indices = np.where(val_mask)[0]
 

@@ -8,7 +8,11 @@ The contract under test: "approximate" must never silently mean "wrong".
   invariant the counterfactual search's label/attribute constraints ride
   on);
 * building twice with the same seed gives identical indexes (determinism);
-* exhaustive probing reproduces the exact oracle bit-for-bit.
+* exhaustive probing reproduces the exact oracle bit-for-bit;
+* incremental maintenance (``update``) preserves all of the above: updates
+  are deterministic, exhaustive probing stays bit-identical to the oracle
+  over the *new* matrix, recall survives repeated small drifts, and the
+  rebuild escape hatch produces exactly a fresh build.
 """
 
 from __future__ import annotations
@@ -171,6 +175,265 @@ class TestExhaustiveOracle:
         np.testing.assert_array_equal(
             exact.topk(queries, candidates, 4), ann.topk(queries, candidates, 4)
         )
+
+
+def _drift(X, rng, fraction=0.2, scale=0.1):
+    """Move a random ``fraction`` of points by a small gaussian step."""
+    moved = rng.choice(
+        X.shape[0], size=max(1, int(fraction * X.shape[0])), replace=False
+    )
+    X = X.copy()
+    X[moved] += scale * rng.normal(size=(moved.size, X.shape[1]))
+    return X
+
+
+class TestIncrementalUpdate:
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 10_000), rounds=st.integers(1, 4))
+    def test_update_is_deterministic(self, seed, rounds):
+        """Twin indexes fed the same drift sequence stay identical."""
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(int(rng.integers(40, 250)), 5))
+        make = lambda: RPForestIndex(  # noqa: E731
+            num_trees=4, leaf_size=8, probes=2, seed=7, overflow_factor=2.0
+        ).build(X)
+        a, b = make(), make()
+        current = X
+        for _ in range(rounds):
+            current = _drift(current, rng, fraction=0.3, scale=0.5)
+            ra = a.update(current, rebuild_frac=1.0)
+            rb = b.update(current, rebuild_frac=1.0)
+            assert (ra.num_moved, ra.splits) == (rb.num_moved, rb.splits)
+        np.testing.assert_array_equal(
+            a.query(current[:32], 5), b.query(current[:32], 5)
+        )
+
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(1, 8))
+    def test_exhaustive_stays_exact_after_updates(self, seed, k):
+        """Exhaustive probing over an updated index equals the oracle over
+        the *new* matrix bit-for-bit (points/norms refresh plumbing)."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(30, 200))
+        X = rng.normal(size=(n, 4))
+        index = RPForestIndex(**FOREST, seed=seed).build(X)
+        for _ in range(3):
+            X = _drift(X, rng, fraction=0.25, scale=0.3)
+            index.update(X, rebuild_frac=1.0)
+        out = index.query(X[:32], k, probes=EXHAUSTIVE)
+        expected = exact_topk(X, X[:32], np.arange(n), k)
+        np.testing.assert_array_equal(out[:, : expected.shape[1]], expected)
+        assert (out[:, expected.shape[1]:] == -1).all()
+
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_masked_queries_stay_sound_after_updates(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(30, 200))
+        X = rng.normal(size=(n, 4))
+        mask = rng.random(n) < rng.uniform(0.1, 0.9)
+        index = RPForestIndex(**FOREST, seed=seed).build(X)
+        X = _drift(X, rng, fraction=0.4, scale=0.5)
+        index.update(X, rebuild_frac=1.0)
+        for probes in (1, FOREST["probes"], EXHAUSTIVE):
+            out = index.query(X[:24], 4, mask=mask, probes=probes)
+            returned = out[out >= 0]
+            assert mask[returned].all()
+
+    @settings(deadline=None)
+    @given(seed=st.integers(0, 2_000))
+    def test_recall_survives_repeated_small_drifts(self, seed):
+        """Re-routing through stale split planes must keep recall@K >= 0.9
+        over several refresh cycles of realistic (small) embedding drift."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(100, 400))
+        centers = rng.normal(scale=8.0, size=(5, 4))
+        X = centers[rng.integers(0, 5, size=n)] + rng.normal(size=(n, 4))
+        index = RPForestIndex(**FOREST, seed=seed).build(X)
+        for _ in range(4):
+            X = _drift(X, rng, fraction=0.2, scale=0.1)
+            report = index.update(X, rebuild_frac=1.0)
+            assert not report.rebuilt
+        assert _recall(index, X, X[: min(n, 64)], 5) >= 0.9
+
+    def test_unmoved_points_are_not_rerouted_but_refreshed(self):
+        """moved=[] skips all re-routing, yet the coordinates still refresh
+        (exhaustive ranking sees the new matrix)."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(80, 4))
+        index = RPForestIndex(**FOREST, seed=0).build(X)
+        X2 = X + 0.5 * rng.normal(size=X.shape)
+        report = index.update(X2, moved=np.array([], dtype=np.int64))
+        assert report.num_moved == 0 and not report.rebuilt
+        out = index.query(X2[:16], 3, probes=EXHAUSTIVE)
+        np.testing.assert_array_equal(
+            out, exact_topk(X2, X2[:16], np.arange(80), 3)
+        )
+
+    def test_boolean_moved_mask_equals_id_list(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(120, 4))
+        X2 = _drift(X, rng, fraction=0.3, scale=0.5)
+        ids = rng.choice(120, size=30, replace=False)
+        mask = np.zeros(120, dtype=bool)
+        mask[ids] = True
+        a = RPForestIndex(**FOREST, seed=3).build(X)
+        b = RPForestIndex(**FOREST, seed=3).build(X)
+        a.update(X2, moved=ids, rebuild_frac=1.0)
+        b.update(X2, moved=mask, rebuild_frac=1.0)
+        np.testing.assert_array_equal(a.query(X2[:24], 5), b.query(X2[:24], 5))
+
+    def test_drift_threshold_gates_rerouting(self):
+        """Points moving under the threshold are not counted as drifted."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 4))
+        index = RPForestIndex(**FOREST, seed=0, drift_threshold=1.0).build(X)
+        X2 = X + 0.01  # L2 delta 0.02 per point, far below the threshold
+        report = index.update(X2)
+        assert report.num_moved == 0
+        report = index.update(X2, drift_threshold=0.0)
+        assert report.num_moved == 0  # already the stored matrix
+
+    def test_rebuild_escape_hatch_equals_fresh_build(self):
+        """Past rebuild_frac, update() is exactly a fresh seeded build."""
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(150, 4))
+        index = RPForestIndex(**FOREST, seed=9, rebuild_frac=0.1).build(X)
+        X2 = X + 1.0  # everything drifts
+        report = index.update(X2)
+        assert report.rebuilt and report.moved_fraction == 1.0
+        fresh = RPForestIndex(**FOREST, seed=9).build(X2)
+        np.testing.assert_array_equal(
+            index.query(X2[:32], 5), fresh.query(X2[:32], 5)
+        )
+
+    def test_overflow_triggers_lazy_subtree_split(self):
+        """Cramming many points into one region must split the receiving
+        leaf (bounding per-query candidate work) and keep queries sound."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(400, 4))
+        index = RPForestIndex(
+            num_trees=3, leaf_size=8, probes=2, seed=0, overflow_factor=2.0
+        ).build(X)
+        X2 = X.copy()
+        X2[100:250] = X[0] + 0.01 * rng.normal(size=(150, 4))
+        report = index.update(X2, rebuild_frac=1.0)
+        assert report.splits > 0 and not report.rebuilt
+        for tree in index._trees:
+            sizes = np.diff(tree.leaf_indptr)
+            assert sizes.sum() == 400  # every point still in exactly one leaf
+            assert tree.max_leaf == sizes.max()
+        out = index.query(X2[:32], 5)
+        assert out.shape == (32, 5) and out.max() < 400
+        # The crowded region is its own nearest-neighbour cluster.
+        hits = index.query(X2[150][None, :], 5)[0]
+        assert ((hits >= 100) & (hits < 250)).sum() >= 4
+
+    def test_depth_bound_stays_exact_across_splits(self):
+        """Repeated overflow splits must not inflate the recorded depth
+        bound (it sizes every multi-probe query's descent arrays)."""
+
+        def reference_depth(tree):
+            if tree.root < 0:
+                return 0
+            best, stack = 0, [(tree.root, 0)]
+            while stack:
+                node, level = stack.pop()
+                if node < 0:
+                    best = max(best, level)
+                else:
+                    stack += [(c, level + 1) for c in tree.children[node]]
+            return best
+
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(400, 4))
+        index = RPForestIndex(
+            num_trees=3, leaf_size=8, probes=2, seed=0, overflow_factor=2.0
+        ).build(X)
+        total_splits = 0
+        for round_id in range(3):  # collapse a different region each round
+            X = X.copy()
+            lo = 50 + 100 * round_id
+            X[lo : lo + 80] = X[round_id] + 0.01 * rng.normal(size=(80, 4))
+            total_splits += index.update(X, rebuild_frac=1.0).splits
+        assert total_splits > 0
+        for tree in index._trees:
+            assert tree.depth == reference_depth(tree)
+
+    def test_explicit_moved_conflicts_with_threshold(self):
+        index = RPForestIndex(**FOREST, seed=0).build(
+            np.random.default_rng(0).normal(size=(50, 3))
+        )
+        with pytest.raises(ValueError, match="not both"):
+            index.update(
+                np.zeros((50, 3)), moved=np.array([1]), drift_threshold=0.5
+            )
+
+    def test_update_validation(self):
+        index = RPForestIndex(**FOREST, seed=0)
+        with pytest.raises(RuntimeError):
+            index.update(np.zeros((4, 2)))
+        index.build(np.random.default_rng(0).normal(size=(50, 3)))
+        with pytest.raises(ValueError, match="built shape"):
+            index.update(np.zeros((60, 3)))
+        with pytest.raises(ValueError, match="built shape"):
+            index.update(np.zeros((50, 4)))
+        with pytest.raises(ValueError, match="moved ids"):
+            index.update(np.zeros((50, 3)), moved=np.array([60]))
+        with pytest.raises(ValueError, match="drift_threshold"):
+            index.update(np.zeros((50, 3)), drift_threshold=-1.0)
+        with pytest.raises(ValueError, match="rebuild_frac"):
+            index.update(np.zeros((50, 3)), rebuild_frac=0.0)
+        with pytest.raises(ValueError, match="drift_threshold"):
+            RPForestIndex(drift_threshold=-0.5)
+        with pytest.raises(ValueError, match="rebuild_frac"):
+            RPForestIndex(rebuild_frac=1.5)
+        with pytest.raises(ValueError, match="overflow_factor"):
+            RPForestIndex(overflow_factor=0.5)
+
+
+class TestIncrementalBackend:
+    def test_prepare_updates_in_place(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 6))
+        backend = AnnBackend(
+            **FOREST, seed=0, update="incremental", rebuild_frac=1.0
+        )
+        backend.prepare(X)
+        assert backend.last_report is None  # first prepare builds
+        X2 = X + 0.05 * rng.normal(size=X.shape)
+        backend.prepare(X2)
+        assert backend.last_report is not None
+        assert not backend.last_report.rebuilt
+        # A changed point-set shape falls back to a build.
+        backend.prepare(rng.normal(size=(40, 6)))
+        assert backend.last_report is None
+
+    def test_incremental_exhaustive_equals_exact_backend(self):
+        """After an in-place refresh, exhaustive incremental == oracle."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(120, 5))
+        exact = ExactBackend()
+        ann = AnnBackend(
+            **FOREST, seed=0, exhaustive=True, update="incremental",
+            rebuild_frac=1.0,
+        )
+        queries = np.arange(0, 120, 3)
+        candidates = np.arange(1, 120, 2)
+        for _ in range(3):
+            X = _drift(X, rng, fraction=0.3, scale=0.2)
+            exact.prepare(X)
+            ann.prepare(X)
+            np.testing.assert_array_equal(
+                exact.topk(queries, candidates, 4),
+                ann.topk(queries, candidates, 4),
+            )
+
+    def test_bad_update_mode_rejected(self):
+        with pytest.raises(ValueError, match="update"):
+            AnnBackend(update="bogus")
+        with pytest.raises(ValueError, match="update"):
+            make_backend("ann", update="sometimes")
 
 
 class TestValidationAndFactory:

@@ -114,6 +114,13 @@ class TestKSMOTE:
         with pytest.raises(ValueError):
             KSMOTE(num_clusters=1)
 
+    def test_rejects_zero_kmeans_batch_size(self):
+        """An explicit 0 must be rejected, not silently collapsed into
+        "follow batch_size" by an `or` fallback (falsy-zero regression)."""
+        with pytest.raises(ValueError, match="kmeans_batch_size"):
+            KSMOTE(kmeans_batch_size=0)
+        KSMOTE(kmeans_batch_size=None)  # the documented follow-default
+
     def test_extend_adjacency_wires_parent_neighbourhood(self, tiny_graph):
         extended = KSMOTE._extend_adjacency(tiny_graph.adjacency, [0])
         assert extended.shape == (7, 7)
@@ -163,6 +170,13 @@ class TestFairGKD:
     def test_rejects_negative_distill_weight(self):
         with pytest.raises(ValueError):
             FairGKD(distill_weight=-0.1)
+
+    def test_rejects_zero_teacher_epochs(self):
+        """teacher_epochs=0 must be rejected, not silently collapsed into
+        "follow epochs" by an `or` fallback (falsy-zero regression)."""
+        with pytest.raises(ValueError, match="teacher_epochs"):
+            FairGKD(teacher_epochs=0)
+        FairGKD(teacher_epochs=None)  # the documented follow-default
 
     def test_slower_than_vanilla(self, small_graph):
         # Two extra teachers must cost wall-clock time (Fig. 8's claim).

@@ -271,6 +271,127 @@ class TestSampledCacheDeterminism:
         assert all(seconds >= 0 for seconds in history.epoch_train_seconds)
 
 
+class TestEvalBlockCache:
+    """The exact validation blocks never change during a fit — the engine
+    must build them once per ``run()``, not once per epoch, without moving
+    a single validation metric."""
+
+    def _engine(self, graph, **extra):
+        model = make_backbone(
+            "gcn", graph.num_features, 8, np.random.default_rng(0)
+        )
+        params = dict(fanouts=(5,), batch_size=64)
+        params.update(extra)
+        return model, MinibatchEngine(
+            model, graph.features, graph.adjacency, **params
+        )
+
+    def test_eval_blocks_sampled_once_per_fit(self, causal_graph):
+        graph = causal_graph
+        model, engine = self._engine(graph, eval_batch_size=32)
+        val = np.where(graph.val_mask)[0]
+        calls = []
+        original = engine.eval_sampler.sample_blocks
+
+        def counting(seeds, rng=None):
+            calls.append(seeds.size)
+            return original(seeds, rng)
+
+        engine.eval_sampler.sample_blocks = counting
+        epochs = 4
+        engine.run(
+            np.where(graph.train_mask)[0],
+            epochs,
+            lambda step: binary_cross_entropy_with_logits(
+                step.output, graph.labels[step.batch].astype(np.float64)
+            ),
+            0,
+            val_nodes=val,
+            val_labels=graph.labels[val],
+        )
+        expected_batches = -(-val.size // 32)  # ceil
+        assert len(calls) == expected_batches, (
+            f"eval blocks sampled {len(calls)} times; the per-fit cache "
+            f"should sample exactly {expected_batches} (one per val batch), "
+            f"not once per epoch"
+        )
+
+    def test_val_metrics_bit_identical_to_fresh_blocks(self, causal_graph):
+        """Per-epoch validation accuracy through the cached blocks equals a
+        from-scratch exact prediction at the same weights (on_epoch_end
+        fires right before validation, so the weights agree)."""
+        graph = causal_graph
+        model, engine = self._engine(graph)
+        val = np.where(graph.val_mask)[0]
+        fresh = []
+
+        def on_epoch_end(epoch):
+            logits = engine.predict(val)  # samples fresh blocks every call
+            fresh.append(
+                ((logits > 0).astype(int) == graph.labels[val]).mean()
+            )
+
+        history = engine.run(
+            np.where(graph.train_mask)[0],
+            3,
+            lambda step: binary_cross_entropy_with_logits(
+                step.output, graph.labels[step.batch].astype(np.float64)
+            ),
+            0,
+            val_nodes=val,
+            val_labels=graph.labels[val],
+            on_epoch_end=on_epoch_end,
+        )
+        assert fresh == history.val_accuracy  # exact equality, no tolerance
+
+
+class TestFalsyFallbackRegressions:
+    """`or`-style config fallbacks collapse explicit zeros into defaults;
+    these pin the explicit is-None resolutions plus rejection of
+    non-positive sizes (the bug class that bit finetune_val_tolerance)."""
+
+    def _model(self, graph):
+        return make_backbone(
+            "gcn", graph.num_features, 8, np.random.default_rng(0)
+        )
+
+    def test_zero_eval_batch_size_rejected(self, causal_graph):
+        graph = causal_graph
+        with pytest.raises(ValueError, match="eval_batch_size"):
+            MinibatchEngine(
+                self._model(graph), graph.features, graph.adjacency,
+                fanouts=(5,), batch_size=64, eval_batch_size=0,
+            )
+        with pytest.raises(ValueError, match="eval_batch_size"):
+            fit_minibatch(
+                self._model(graph), graph.features, graph.adjacency,
+                graph.labels, graph.train_mask, graph.val_mask,
+                epochs=1, fanouts=(5,), eval_batch_size=0,
+            )
+
+    def test_explicit_eval_batch_size_honoured(self, causal_graph):
+        graph = causal_graph
+        engine = MinibatchEngine(
+            self._model(graph), graph.features, graph.adjacency,
+            fanouts=(5,), batch_size=64, eval_batch_size=17,
+        )
+        assert engine.eval_batch_size == 17
+        engine = MinibatchEngine(
+            self._model(graph), graph.features, graph.adjacency,
+            fanouts=(5,), batch_size=64,
+        )
+        assert engine.eval_batch_size == 64  # None follows batch_size
+
+    def test_predict_zero_batch_size_rejected(self, causal_graph):
+        graph = causal_graph
+        engine = MinibatchEngine(
+            self._model(graph), graph.features, graph.adjacency,
+            fanouts=(5,), batch_size=64,
+        )
+        with pytest.raises(ValueError, match="batch_size"):
+            engine.predict(np.arange(10), batch_size=0)
+
+
 class TestEngineContracts:
     def _engine(self, graph, **extra):
         model = make_backbone(

@@ -275,6 +275,64 @@ class TestTrainerAgreement:
         assert result.test.accuracy > 0.5
         assert len(result.history["finetune_loss"]) >= 1
 
+    def test_incremental_update_covering_matches_rebuild(self, causal_graph):
+        """cf_update='incremental' vs 'rebuild' through the whole trainer.
+
+        With exhaustive probing the index's *answers* depend only on the
+        point matrix — which incremental maintenance refreshes in full —
+        so the two policies must produce identical runs to float precision
+        (the covering batch removes sampling noise).  This pins the
+        in-place update path as a pure amortisation, never a semantic
+        change."""
+
+        def run(cf_update):
+            config = _base_config(
+                finetune_minibatch=True,
+                batch_size=512,
+                fanouts=(None,),
+                cf_backend="ann",
+                cf_backend_options={"exhaustive": True},
+                cf_refresh_epochs=2,  # several refreshes → update() exercised
+                cf_update=cf_update,
+                cf_drift_threshold=0.0,
+                cf_rebuild_frac=1.0,  # never escape: pure incremental path
+            )
+            return FairwosTrainer(config).fit(causal_graph, seed=0)
+
+        rebuild = run("rebuild")
+        incremental = run("incremental")
+        assert abs(rebuild.test.accuracy - incremental.test.accuracy) < 1e-9
+        assert abs(rebuild.test.delta_sp - incremental.test.delta_sp) < 1e-9
+        np.testing.assert_allclose(
+            rebuild.lambda_weights, incremental.lambda_weights, atol=1e-9
+        )
+        assert (
+            rebuild.counterfactual_coverage
+            == incremental.counterfactual_coverage
+        )
+        np.testing.assert_allclose(
+            rebuild.history["finetune_loss"],
+            incremental.history["finetune_loss"],
+            atol=1e-9,
+        )
+
+    def test_incremental_update_through_trainer_sampled(self, causal_graph):
+        """The genuinely approximate incremental path (real trees, real
+        sampling) still trains and keeps counterfactual coverage high."""
+        config = _base_config(
+            finetune_minibatch=True,
+            batch_size=256,
+            fanouts=(10,),
+            cf_backend="ann",
+            cf_refresh_epochs=2,
+            cf_update="incremental",
+            cf_drift_threshold=1e-3,
+            cf_rebuild_frac=0.9,
+        )
+        result = FairwosTrainer(config).fit(causal_graph, seed=0)
+        assert result.counterfactual_coverage > 0.9
+        assert result.test.accuracy > 0.5
+
     def test_finetune_minibatch_follows_minibatch_default(self):
         assert FairwosConfig(minibatch=True).resolved_finetune_minibatch()
         assert not FairwosConfig(minibatch=False).resolved_finetune_minibatch()
@@ -317,3 +375,41 @@ class TestTrainerAgreement:
         assert (
             FairwosConfig(refresh_counterfactuals_every=2).resolved_cf_refresh() == 2
         )
+        with pytest.raises(ValueError, match="cf_update"):
+            FairwosConfig(cf_update="sometimes").validate()
+        with pytest.raises(ValueError, match="cf_drift_threshold"):
+            FairwosConfig(
+                cf_backend="ann", cf_update="incremental",
+                cf_drift_threshold=-1.0,
+            ).validate()
+        with pytest.raises(ValueError, match="cf_rebuild_frac"):
+            FairwosConfig(
+                cf_backend="ann", cf_update="incremental", cf_rebuild_frac=0.0
+            ).validate()
+        # Incremental maintenance needs an index to maintain — and a custom
+        # backend instance must carry its own update policy, so pairing one
+        # with cf_update='incremental' is rejected rather than silently
+        # rebuilding every refresh.
+        with pytest.raises(ValueError, match="requires cf_backend='ann'"):
+            FairwosConfig(cf_update="incremental").validate()
+        from repro.core.ann import AnnBackend
+
+        with pytest.raises(ValueError, match="update policy"):
+            FairwosConfig(
+                cf_backend=AnnBackend(), cf_update="incremental"
+            ).validate()
+        FairwosConfig(cf_backend="ann", cf_update="incremental").validate()
+
+    def test_finetune_lr_zero_rejected_not_collapsed(self):
+        """finetune_learning_rate=0.0 must be rejected, not silently fall
+        back to learning_rate (the `or`-fallback falsy-zero bug class)."""
+        with pytest.raises(ValueError, match="finetune_learning_rate"):
+            FairwosConfig(finetune_learning_rate=0.0).validate()
+        with pytest.raises(ValueError, match="learning_rate"):
+            FairwosConfig(finetune_learning_rate=None, learning_rate=0.0).validate()
+        assert FairwosConfig(
+            finetune_learning_rate=None, learning_rate=0.002
+        ).resolved_finetune_lr() == 0.002
+        assert FairwosConfig(
+            finetune_learning_rate=0.05, learning_rate=0.002
+        ).resolved_finetune_lr() == 0.05
