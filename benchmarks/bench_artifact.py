@@ -1,0 +1,116 @@
+"""Artifact save / load / score timings and on-disk footprint.
+
+The train-once / serve-millions pitch only holds if reloading an artifact
+and scoring through it is cheap next to training.  This bench times the
+full serving loop on a generated scale-free graph:
+
+* ``save_artifact``  — training-time cost, paid once;
+* ``load_artifact``  — serving-process start-up cost;
+* ``score``          — batched inference over every node;
+* ``counterfactuals`` — one retrieval pass from the persisted index.
+
+It also records the byte size of every bundle member — the artifact-size
+note for capacity planning (the index and the optional bundled graph
+dominate; weights are tiny).  Scoring through the reloaded artifact must
+stay bit-identical to the live trainer, and a load + full score must be
+at least 5x faster than the training run it replaces.
+
+Node count follows REPRO_BENCH_SCALE: smoke ≈ 1k, quick ≈ 20k,
+paper ≈ 50k.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import bench_scale, record_json, record_output
+
+from repro.datasets import generate_scale_free_graph
+from repro.experiments.methods import run_method
+from repro.io import load_artifact, save_artifact
+
+SCALE = bench_scale()
+NODES = {1: 1_000, 2: 20_000, 10: 50_000}.get(SCALE.seeds, 20_000)
+
+
+def test_artifact_roundtrip(benchmark):
+    graph = generate_scale_free_graph(num_nodes=NODES, seed=0).standardized()
+
+    train_start = time.perf_counter()
+    result = run_method(
+        "fairwos",
+        graph,
+        epochs=SCALE.epochs,
+        finetune_epochs=max(2, SCALE.epochs // 10),
+        minibatch=True,
+        fanouts=(10, 5),
+        batch_size=1024,
+        cf_backend="ann",
+        keep_model=True,
+    )
+    train_seconds = time.perf_counter() - train_start
+    trainer = result.extra["model"]
+    live_logits = trainer.predict(graph)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "artifact"
+
+        save_start = time.perf_counter()
+        save_artifact(trainer, graph, path)
+        save_seconds = time.perf_counter() - save_start
+        sizes = {
+            member.name: member.stat().st_size for member in path.iterdir()
+        }
+
+        load_start = time.perf_counter()
+        artifact = load_artifact(path)
+        load_seconds = time.perf_counter() - load_start
+
+        score_start = time.perf_counter()
+        logits = artifact.score()
+        score_seconds = time.perf_counter() - score_start
+        benchmark.pedantic(artifact.score, rounds=1, iterations=1)
+
+        cf_start = time.perf_counter()
+        artifact.counterfactuals(nodes=np.arange(min(256, NODES)))
+        cf_seconds = time.perf_counter() - cf_start
+
+    np.testing.assert_array_equal(logits, live_logits)
+    serve_seconds = load_seconds + score_seconds
+    speedup = train_seconds / serve_seconds
+
+    lines = [f"Artifact round-trip bench ({NODES:,} nodes)"]
+    lines.append(f"  train                : {train_seconds:8.2f}s")
+    lines.append(f"  save_artifact        : {save_seconds:8.2f}s")
+    lines.append(f"  load_artifact        : {load_seconds:8.2f}s")
+    lines.append(f"  score (all nodes)    : {score_seconds:8.2f}s")
+    lines.append(f"  counterfactuals(256) : {cf_seconds:8.2f}s")
+    lines.append(f"  load+score vs train  : {speedup:8.1f}x")
+    lines.append("  artifact size:")
+    for name in sorted(sizes):
+        lines.append(f"    {name:<14} {sizes[name]:>12,} bytes")
+    lines.append(f"    {'total':<14} {sum(sizes.values()):>12,} bytes")
+    record_output("bench_artifact", "\n".join(lines))
+    record_json(
+        "artifact_score",
+        {
+            "nodes": NODES,
+            "train_seconds": train_seconds,
+            "save_seconds": save_seconds,
+            "load_seconds": load_seconds,
+            "score_seconds": score_seconds,
+            "counterfactual_seconds": cf_seconds,
+            "artifact_bytes": {k: int(v) for k, v in sizes.items()},
+            "artifact_total_bytes": int(sum(sizes.values())),
+            "serve_speedup_vs_train": speedup,
+        },
+    )
+
+    if SCALE.seeds >= 2:  # fixed overheads dominate at smoke sizes
+        assert speedup >= 5.0, (
+            f"load+score took {serve_seconds:.2f}s vs {train_seconds:.2f}s "
+            f"training — only {speedup:.1f}x"
+        )

@@ -68,6 +68,14 @@ class BaselineMethod:
         self.epochs = epochs
         self.lr = lr
         self.patience = patience
+        # Trained model retained by _fit_and_predict_arrays (None until
+        # fit).  repro.io.artifact persists it; methods with bespoke
+        # training paths that bypass the shared dispatch simply leave it
+        # unset and are reported as non-persistable.
+        self.model_ = None
+        # Column subset the model was trained on (None = all columns);
+        # RemoveR sets this so scoring new features drops the same columns.
+        self.feature_columns_: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     def fit(self, graph: Graph, seed: int = 0) -> MethodResult:
@@ -192,4 +200,5 @@ class BaselineMethod:
                 extra_loss=extra_loss,
             )
             logits = predict_logits(model, features, adjacency)
+        self.model_ = model
         return history, logits

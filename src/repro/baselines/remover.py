@@ -60,4 +60,7 @@ class RemoveR(BaselineMethod):
         _, logits = self._fit_and_predict(
             model, Tensor(reduced.features), reduced, rng
         )
+        self.feature_columns_ = np.setdiff1d(
+            np.arange(graph.num_features), graph.related_feature_indices
+        ).astype(np.int64)
         return logits, {"removed_columns": int(graph.related_feature_indices.size)}

@@ -6,6 +6,15 @@ datasets
     List the available benchmark datasets with their statistics.
 run
     Train one method on one dataset and print its evaluation.
+    ``--save DIR`` additionally persists the fitted model as a versioned
+    artifact (weights, config, preprocessing state, counterfactual index).
+score
+    Batch-score nodes from a saved artifact — no retraining.  Optional
+    fairness audit, per-window drift report and counterfactual retrieval
+    from the persisted index.
+serve
+    Thin interactive loop over a saved artifact: ``score``, ``cf``,
+    ``audit`` and ``windows`` requests from stdin.
 audit
     Print the data-side + vanilla-model bias audit of a dataset.
 table1 / table2 / fig4 / fig5 / fig6 / fig7 / fig8
@@ -17,6 +26,10 @@ Examples
 
     python -m repro datasets
     python -m repro run --method fairwos --dataset nba --seed 0
+    python -m repro run --method fairwos --dataset nba --save artifacts/nba
+    python -m repro score --artifact artifacts/nba --audit --audit-windows 4
+    python -m repro score --artifact artifacts/nba --node-ids 3,7,12 \\
+        --counterfactuals 3
     python -m repro run --method vanilla --dataset scalefree --nodes 100000 \\
         --backbone sage --minibatch --fanout 10,5 --batch-size 512
     repro --method fairwos --dataset scalefree --nodes 50000 \\
@@ -26,7 +39,8 @@ Examples
     python -m repro table2 --datasets nba bail --backbones gcn --scale smoke
 
 An invocation whose first argument is an option (as in the third example)
-defaults to the ``run`` subcommand.
+defaults to the ``run`` subcommand.  See ``docs/CLI.md`` for the complete
+flag reference.
 """
 
 from __future__ import annotations
@@ -131,6 +145,70 @@ def build_parser() -> argparse.ArgumentParser:
         help="how an ANN refresh maintains the forest: rebuild from scratch "
         "or incrementally re-route only drifted points",
     )
+    run_parser.add_argument(
+        "--save",
+        default=None,
+        metavar="DIR",
+        help="persist the fitted model as a versioned artifact directory "
+        "(weights + config + preprocessing state + counterfactual index); "
+        "score it later with `repro score --artifact DIR`",
+    )
+    run_parser.add_argument(
+        "--no-save-graph",
+        action="store_true",
+        help="with --save: skip bundling the training graph into the "
+        "artifact (scoring then requires an explicit --dataset)",
+    )
+
+    score_parser = sub.add_parser(
+        "score", help="batch-score nodes from a saved artifact"
+    )
+    _add_artifact_arguments(score_parser)
+    score_parser.add_argument(
+        "--node-ids",
+        type=_parse_node_ids,
+        default=None,
+        metavar="N1,N2,...",
+        help="score only these node ids (default: every node)",
+    )
+    score_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the logits to PATH as a .npy array",
+    )
+    score_parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="print the model-side fairness audit (test split)",
+    )
+    score_parser.add_argument(
+        "--audit-windows",
+        type=int,
+        default=None,
+        metavar="W",
+        help="per-window fairness drift report over the scored stream",
+    )
+    score_parser.add_argument(
+        "--counterfactuals",
+        type=int,
+        default=None,
+        metavar="K",
+        help="retrieve K counterfactual twins per scored node from the "
+        "persisted index (Fairwos artifacts)",
+    )
+    score_parser.add_argument(
+        "--probes",
+        default=None,
+        metavar="P",
+        help="ANN probes override for counterfactual retrieval "
+        "(an integer, or 'exhaustive' for brute-force ranking)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve", help="interactive scoring loop over a saved artifact"
+    )
+    _add_artifact_arguments(serve_parser)
 
     audit_parser = sub.add_parser("audit", help="bias audit of a dataset")
     audit_parser.add_argument("--dataset", choices=available_datasets(), default="nba")
@@ -156,6 +234,53 @@ def _cmd_datasets() -> str:
     return "\n".join(lines)
 
 
+def _add_artifact_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the artifact-consuming commands (score, serve)."""
+    parser.add_argument(
+        "--artifact",
+        required=True,
+        metavar="DIR",
+        help="artifact directory written by `repro run --save`",
+    )
+    parser.add_argument(
+        "--dataset",
+        choices=available_datasets() + ["scalefree"],
+        default=None,
+        help="score this dataset instead of the bundled training graph",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=20_000,
+        help="node count for --dataset scalefree",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="batched-inference batch size override",
+    )
+
+
+def _parse_node_ids(text: str) -> np.ndarray:
+    """Parse a comma-separated node-id list like ``3,7,12``."""
+    try:
+        ids = np.array(
+            [int(part) for part in text.split(",") if part.strip()],
+            dtype=np.int64,
+        )
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(
+            f"node ids must be comma-separated integers, got {text!r}"
+        ) from err
+    if ids.size == 0 or (ids < 0).any():
+        raise argparse.ArgumentTypeError(
+            f"node ids must be non-negative integers, got {text!r}"
+        )
+    return ids
+
+
 def _parse_fanouts(text: str) -> tuple[int, ...]:
     """Parse a comma-separated fanout list like ``10,5``."""
     try:
@@ -171,13 +296,17 @@ def _parse_fanouts(text: str) -> tuple[int, ...]:
     return fanouts
 
 
-def _cmd_run(args) -> str:
-    if args.dataset == "scalefree":
+def _load_cli_graph(dataset: str, seed: int, nodes: int):
+    """Dataset loading shared by run/score/serve (incl. 'scalefree')."""
+    if dataset == "scalefree":
         from repro.datasets import generate_scale_free_graph
 
-        graph = generate_scale_free_graph(args.nodes, seed=args.seed).standardized()
-    else:
-        graph = load_dataset(args.dataset, seed=args.seed)
+        return generate_scale_free_graph(nodes, seed=seed).standardized()
+    return load_dataset(dataset, seed=seed)
+
+
+def _cmd_run(args) -> str:
+    graph = _load_cli_graph(args.dataset, args.seed, args.nodes)
     result = run_method(
         args.method,
         graph,
@@ -191,6 +320,7 @@ def _cmd_run(args) -> str:
         cf_backend=args.cf_backend,
         cf_refresh_epochs=args.cf_refresh,
         cf_update=args.cf_update,
+        keep_model=args.save is not None,
     )
     mode = ""
     if args.minibatch:
@@ -207,10 +337,172 @@ def _cmd_run(args) -> str:
         mode += f", cf-backend={args.cf_backend}"
         if args.cf_update != "rebuild":
             mode += f" cf-update={args.cf_update}"
-    return (
+    output = (
         f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}"
         f"{mode}):\n  {result.test}\n  trained in {result.seconds:.1f}s"
     )
+    if args.save is not None:
+        from repro.io import save_artifact
+
+        path = save_artifact(
+            result.extra["model"],
+            graph,
+            args.save,
+            include_graph=not args.no_save_graph,
+        )
+        output += f"\n  artifact saved to {path}"
+    return output
+
+
+def _cmd_score(args) -> str:
+    from repro.io import load_artifact
+
+    artifact = load_artifact(args.artifact)
+    lines = [
+        f"{artifact.method_name} artifact at {artifact.path} "
+        f"(trained on {artifact.manifest['dataset']['name']}, "
+        f"{artifact.manifest['dataset']['num_nodes']} nodes)"
+    ]
+    graph = None
+    if args.dataset is not None:
+        graph = _load_cli_graph(args.dataset, args.seed, args.nodes)
+        if not artifact.matches(graph):
+            lines.append(
+                "  note: scored graph differs from the training dataset "
+                "(fingerprint mismatch)"
+            )
+    logits = artifact.score(
+        graph, nodes=args.node_ids, batch_size=args.batch_size
+    )
+    lines.append(f"  scored {logits.size} nodes")
+    if args.node_ids is not None:
+        shown = ", ".join(
+            f"{int(node)}:{logit:+.4f}"
+            for node, logit in zip(args.node_ids[:10], logits[:10])
+        )
+        lines.append(f"  logits: {shown}" + (" ..." if logits.size > 10 else ""))
+    if args.out is not None:
+        np.save(args.out, logits)
+        lines.append(f"  logits written to {args.out}")
+    if args.counterfactuals is not None:
+        lines.append(
+            _render_counterfactuals(
+                artifact, args.node_ids, args.counterfactuals, args.probes
+            )
+        )
+    if args.audit:
+        lines.append(artifact.audit(graph).render())
+    if args.audit_windows is not None:
+        lines.append(
+            artifact.audit_windows(
+                args.audit_windows, graph, nodes=args.node_ids
+            ).render()
+        )
+    return "\n".join(lines)
+
+
+def _parse_probes(text):
+    """Probes override: int, 'exhaustive', or None."""
+    if text is None or text == "":
+        return None
+    if str(text).lower() == "exhaustive":
+        return "exhaustive"
+    return int(text)
+
+
+def _render_counterfactuals(artifact, node_ids, top_k, probes) -> str:
+    """Per-node counterfactual twins from the persisted index."""
+    cf = artifact.counterfactuals(
+        nodes=node_ids, top_k=top_k, probes=_parse_probes(probes)
+    )
+    show = (
+        node_ids
+        if node_ids is not None
+        else np.arange(min(5, cf.indices.shape[1]), dtype=np.int64)
+    )
+    lines = [
+        f"  counterfactual twins (K={cf.top_k}, {cf.num_attributes} "
+        f"pseudo-attributes, persisted index):"
+    ]
+    for node in show[:10]:
+        per_attr = []
+        for attr in range(min(cf.num_attributes, 3)):
+            if cf.valid[attr, node]:
+                twins = ",".join(map(str, cf.indices[attr, node].tolist()))
+            else:
+                twins = "-"
+            per_attr.append(f"a{attr}:[{twins}]")
+        more = " ..." if cf.num_attributes > 3 else ""
+        lines.append(f"    node {int(node)}: {' '.join(per_attr)}{more}")
+    return "\n".join(lines)
+
+
+def _cmd_serve(args, stdin=None) -> str:
+    """Thin request loop: score/cf/audit/windows lines from stdin.
+
+    Protocol (one request per line, responses echoed to stdout):
+
+    * ``score N1,N2,...`` — logits for the listed nodes;
+    * ``cf NODE [K]`` — counterfactual twins of one node;
+    * ``audit`` — model-side fairness audit of the bundled graph;
+    * ``windows W`` — per-window fairness drift report;
+    * ``quit`` — exit (EOF also exits).
+    """
+    from repro.io import load_artifact
+
+    artifact = load_artifact(args.artifact)
+    graph = None
+    if args.dataset is not None:
+        graph = _load_cli_graph(args.dataset, args.seed, args.nodes)
+    stream = stdin if stdin is not None else sys.stdin
+    print(
+        f"serving {artifact.method_name} artifact at {artifact.path} — "
+        f"commands: score IDS | cf NODE [K] | audit | windows W | quit",
+        flush=True,
+    )
+    served = 0
+    for line in stream:
+        request = line.strip()
+        if not request:
+            continue
+        try:
+            response = _serve_request(artifact, graph, request, args.batch_size)
+        except Exception as exc:  # noqa: BLE001 - a serve loop must not die
+            response = f"error: {exc}"
+        if response is None:
+            break
+        served += 1
+        print(response, flush=True)
+    return f"served {served} requests from {artifact.path}"
+
+
+def _serve_request(artifact, graph, request: str, batch_size) -> str | None:
+    """Dispatch one serve-loop request; None means quit."""
+    parts = request.split()
+    command = parts[0].lower()
+    if command in ("quit", "exit"):
+        return None
+    if command == "score":
+        if len(parts) != 2:
+            return "usage: score N1,N2,..."
+        nodes = _parse_node_ids(parts[1])
+        logits = artifact.score(graph, nodes=nodes, batch_size=batch_size)
+        return " ".join(
+            f"{int(node)}:{logit:+.4f}" for node, logit in zip(nodes, logits)
+        )
+    if command == "cf":
+        if len(parts) not in (2, 3):
+            return "usage: cf NODE [K]"
+        node = np.array([int(parts[1])], dtype=np.int64)
+        top_k = int(parts[2]) if len(parts) == 3 else None
+        return _render_counterfactuals(artifact, node, top_k, None)
+    if command == "audit":
+        return artifact.audit(graph).render()
+    if command == "windows":
+        if len(parts) != 2:
+            return "usage: windows W"
+        return artifact.audit_windows(int(parts[1]), graph).render()
+    return f"unknown command {request!r}; try score/cf/audit/windows/quit"
 
 
 def _cmd_audit(args) -> str:
@@ -247,6 +539,10 @@ def main(argv: list[str] | None = None) -> str:
         output = _cmd_datasets()
     elif args.command == "run":
         output = _cmd_run(args)
+    elif args.command == "score":
+        output = _cmd_score(args)
+    elif args.command == "serve":
+        output = _cmd_serve(args)
     elif args.command == "audit":
         output = _cmd_audit(args)
     elif args.command == "table1":

@@ -244,6 +244,17 @@ class RPForestIndex:
         return 0 if self._points is None else self._points.shape[0]
 
     @property
+    def update_count(self) -> int:
+        """Incremental updates applied since the last :meth:`build`.
+
+        Part of the index's deterministic state: subtree splits seed their
+        generator from ``(seed, update_count, tree, leaf)``, so a restored
+        index must carry the counter to stay bit-identical under further
+        updates.
+        """
+        return self._update_count
+
+    @property
     def points(self) -> np.ndarray:
         """The indexed point matrix (raises before :meth:`build`)."""
         if self._points is None:
@@ -261,6 +272,127 @@ class RPForestIndex:
         rng = np.random.default_rng(self.seed)
         self._trees = [self._build_tree(X, rng) for _ in range(self.num_trees)]
         return self
+
+    # ------------------------------------------------------------------ #
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten the whole forest into named numpy arrays.
+
+        The mapping is ``np.savez``-compatible and captures *all* state
+        needed to answer queries and continue incremental maintenance:
+        constructor parameters, the point matrix, the per-tree split planes
+        and routing tables, and the update counter that seeds future
+        subtree splits.  :meth:`from_arrays` inverts it bit-identically —
+        a restored forest answers every ``query`` (including
+        ``probes="exhaustive"``) exactly like the live one.
+        """
+        if self._points is None:
+            raise RuntimeError("call build() before to_arrays()")
+        out: dict[str, np.ndarray] = {
+            "params": np.array(
+                [
+                    self.num_trees,
+                    self.leaf_size,
+                    -1 if self.probes == EXHAUSTIVE else int(self.probes),
+                    self.seed,
+                    self.chunk_size,
+                    self._update_count,
+                ],
+                dtype=np.int64,
+            ),
+            "float_params": np.array(
+                [self.drift_threshold, self.rebuild_frac, self.overflow_factor],
+                dtype=np.float64,
+            ),
+            "points": self._points,
+        }
+        for t, tree in enumerate(self._trees):
+            prefix = f"tree{t}_"
+            out[prefix + "directions"] = tree.directions
+            out[prefix + "thresholds"] = tree.thresholds
+            out[prefix + "children"] = tree.children
+            out[prefix + "leaf_indptr"] = tree.leaf_indptr
+            out[prefix + "leaf_items"] = tree.leaf_items
+            out[prefix + "point_leaf"] = tree.point_leaf
+            out[prefix + "meta"] = np.array(
+                [tree.root, tree.depth, tree.max_leaf], dtype=np.int64
+            )
+        return out
+
+    @classmethod
+    def from_arrays(cls, arrays) -> "RPForestIndex":
+        """Reconstruct a forest from a :meth:`to_arrays` mapping.
+
+        Accepts any mapping of name → array (a dict or an open
+        ``np.load`` handle).  The restored index is bit-identical to the
+        saved one: same points, same split planes, same routing tables and
+        the same ``update_count``, so both queries and subsequent
+        :meth:`update` calls reproduce the live index exactly.
+        """
+        try:
+            params = np.asarray(arrays["params"], dtype=np.int64)
+            floats = np.asarray(arrays["float_params"], dtype=np.float64)
+            points_raw = arrays["points"]
+        except KeyError as exc:
+            raise ValueError(
+                f"serialized forest is missing required array {exc}"
+            ) from exc
+        probes_raw = int(params[2])
+        index = cls(
+            num_trees=int(params[0]),
+            leaf_size=int(params[1]),
+            probes=EXHAUSTIVE if probes_raw < 0 else probes_raw,
+            seed=int(params[3]),
+            chunk_size=int(params[4]),
+            drift_threshold=float(floats[0]),
+            rebuild_frac=float(floats[1]),
+            overflow_factor=float(floats[2]),
+        )
+        points = np.array(points_raw, dtype=np.float64, copy=True)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError(
+                f"serialized points must be a non-empty (N, d) matrix, "
+                f"got {points.shape}"
+            )
+        index._points = points
+        index._norms = (points**2).sum(axis=1)
+        index._update_count = int(params[5])
+        trees: list[_Tree] = []
+        for t in range(index.num_trees):
+            prefix = f"tree{t}_"
+            try:
+                meta = np.asarray(arrays[prefix + "meta"], dtype=np.int64)
+                trees.append(
+                    _Tree(
+                        directions=np.array(
+                            arrays[prefix + "directions"], dtype=np.float64
+                        ),
+                        thresholds=np.array(
+                            arrays[prefix + "thresholds"], dtype=np.float64
+                        ),
+                        children=np.array(
+                            arrays[prefix + "children"], dtype=np.int64
+                        ),
+                        leaf_indptr=np.array(
+                            arrays[prefix + "leaf_indptr"], dtype=np.int64
+                        ),
+                        leaf_items=np.array(
+                            arrays[prefix + "leaf_items"], dtype=np.int64
+                        ),
+                        point_leaf=np.array(
+                            arrays[prefix + "point_leaf"], dtype=np.int64
+                        ),
+                        root=int(meta[0]),
+                        depth=int(meta[1]),
+                        max_leaf=int(meta[2]),
+                    )
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"serialized forest is missing arrays for tree {t} "
+                    f"(expected {index.num_trees} trees)"
+                ) from exc
+        index._trees = trees
+        return index
 
     # ------------------------------------------------------------------ #
     def _build_tree(

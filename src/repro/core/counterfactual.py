@@ -116,6 +116,7 @@ class CounterfactualSearch:
         representations: np.ndarray,
         pseudo_labels: np.ndarray,
         binary_attributes: np.ndarray,
+        nodes: np.ndarray | None = None,
     ) -> CounterfactualIndex:
         """Find counterfactuals for every node and attribute.
 
@@ -127,6 +128,14 @@ class CounterfactualSearch:
             ``(N,)`` integer labels (model predictions for unlabelled nodes).
         binary_attributes:
             ``(N, I)`` 0/1 pseudo-sensitive attribute matrix.
+        nodes:
+            Optional subset of node ids to act as *queries*.  Candidates
+            still come from the full node set, so restricting queries
+            changes nothing about which counterfactuals a node gets — it
+            only skips work for nodes outside the subset (their rows stay
+            self-pointing and invalid).  The serving path uses this to
+            retrieve counterfactuals for a scored batch without ranking
+            every node.
         """
         representations = np.asarray(representations, dtype=np.float64)
         pseudo_labels = np.asarray(pseudo_labels).astype(np.int64)
@@ -137,6 +146,13 @@ class CounterfactualSearch:
         if binary_attributes.shape[0] != n:
             raise ValueError("binary_attributes row mismatch")
         num_attrs = binary_attributes.shape[1]
+        query_mask = None
+        if nodes is not None:
+            nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+            if nodes.size and (nodes[0] < 0 or nodes[-1] >= n):
+                raise ValueError("nodes ids out of range")
+            query_mask = np.zeros(n, dtype=bool)
+            query_mask[nodes] = True
 
         indices = np.tile(np.arange(n, dtype=np.int64)[:, None], (num_attrs, 1, 1))
         indices = indices.reshape(num_attrs, n, 1).repeat(self.top_k, axis=2)
@@ -154,8 +170,14 @@ class CounterfactualSearch:
                 group_b = class_members[side1]
                 if group_a.size == 0 or group_b.size == 0:
                     continue
-                self._fill_topk(group_a, group_b, indices, valid, attr)
-                self._fill_topk(group_b, group_a, indices, valid, attr)
+                queries_a, queries_b = group_a, group_b
+                if query_mask is not None:
+                    queries_a = group_a[query_mask[group_a]]
+                    queries_b = group_b[query_mask[group_b]]
+                if queries_a.size:
+                    self._fill_topk(queries_a, group_b, indices, valid, attr)
+                if queries_b.size:
+                    self._fill_topk(queries_b, group_a, indices, valid, attr)
         return CounterfactualIndex(indices=indices, valid=valid)
 
     # ------------------------------------------------------------------ #

@@ -91,6 +91,15 @@ class FairwosTrainer:
         self.classifier = None
         self.encoder: EncoderModule | None = None
         self._pseudo_features: Tensor | None = None
+        # Serving state stashed by fit() so a finished trainer can be
+        # persisted (repro.io.artifact) and score without refitting:
+        # binarized pseudo-attributes, pseudo-labels, the standardization
+        # stats + column selection behind X(0), and the counterfactual
+        # search whose standing index answers retrieval queries.
+        self._binary_attrs: np.ndarray | None = None
+        self._pseudo_labels: np.ndarray | None = None
+        self._pseudo_stats: dict | None = None
+        self._search: CounterfactualSearch | None = None
 
     # ------------------------------------------------------------------ #
     def fit(self, graph: Graph, seed: int = 0) -> FairwosResult:
@@ -137,7 +146,8 @@ class FairwosTrainer:
             # "Fwos w/o E": fairness is promoted on every raw non-sensitive
             # attribute individually.
             pseudo_raw = graph.features.copy()
-        pseudo = _standardize(pseudo_raw)
+        pseudo, pseudo_mean, pseudo_std = _standardize(pseudo_raw)
+        keep = None
         if (
             config.max_pseudo_attributes is not None
             and pseudo.shape[1] > config.max_pseudo_attributes
@@ -146,6 +156,12 @@ class FairwosTrainer:
             keep = np.sort(np.argsort(variances)[::-1][: config.max_pseudo_attributes])
             pseudo = pseudo[:, keep]
         binary_attrs = binarize_attributes(pseudo, config.binarize_quantile)
+        self._pseudo_stats = {
+            "mean": pseudo_mean,
+            "std": pseudo_std,
+            "keep": None if keep is None else keep.astype(np.int64),
+        }
+        self._binary_attrs = binary_attrs
         timings["encoder"] = time.perf_counter() - start
 
         # -- Phase 2: pre-train the GNN classifier on X(0) --------------- #
@@ -195,6 +211,7 @@ class FairwosTrainer:
         logits = self._predict_logits(pseudo_tensor, adjacency)
         pseudo_labels = (logits > 0).astype(np.int64)
         pseudo_labels[graph.train_mask] = labels[graph.train_mask]
+        self._pseudo_labels = pseudo_labels
         timings["classifier_pretrain"] = time.perf_counter() - start
 
         # -- Phase 3: fairness fine-tuning ------------------------------- #
@@ -277,6 +294,7 @@ class FairwosTrainer:
             weight_decay=config.weight_decay,
         )
         search = self._make_search(rng)
+        self._search = search
         # The refresh cadence is hoisted into the schedule shared with the
         # sampled path (and the IndexMaintainer), so the two cannot drift.
         schedule = RefreshSchedule(config.resolved_cf_refresh())
@@ -396,6 +414,7 @@ class FairwosTrainer:
             ),
         )
         search = self._make_search(rng)
+        self._search = search
         cf_index: CounterfactualIndex | None = None
         coverage = 0.0
         running_disparities = np.zeros(num_attrs)
@@ -542,6 +561,32 @@ class FairwosTrainer:
             raise RuntimeError("call fit() before predict()")
         return self._predict_logits(self._pseudo_features, graph.adjacency)
 
+    def transform_features(self, features, adjacency) -> np.ndarray:
+        """Map a raw feature matrix to the classifier's X(0) input space.
+
+        Applies the fitted preprocessing pipeline to *new* data: the
+        pre-trained encoder's representation (when ``use_encoder``), the
+        training-time standardization moments, and the training-time
+        variance-based column selection.  The result feeds
+        :meth:`~repro.training.engine.predict_logits_batched` directly, so
+        a persisted artifact can score feature matrices it never trained
+        on.  Requires :meth:`fit` (or an artifact load) first.
+        """
+        if self.classifier is None or self._pseudo_stats is None:
+            raise RuntimeError("call fit() before transform_features()")
+        features = Tensor(np.asarray(features, dtype=np.float64))
+        if self.config.use_encoder:
+            if self.encoder is None:
+                raise RuntimeError("encoder missing from fitted trainer")
+            raw = self.encoder.extract(features, adjacency)
+        else:
+            raw = features.data.copy()
+        stats = self._pseudo_stats
+        pseudo = (raw - stats["mean"][None, :]) / stats["std"][None, :]
+        if stats["keep"] is not None:
+            pseudo = pseudo[:, stats["keep"]]
+        return pseudo
+
 
 def _snapshot_disparities(
     representations: np.ndarray, cf_index: CounterfactualIndex
@@ -558,9 +603,16 @@ def _snapshot_disparities(
     return disparities
 
 
-def _standardize(matrix: np.ndarray) -> np.ndarray:
-    """Z-score columns; constant columns become zero."""
+def _standardize(
+    matrix: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Z-score columns; constant columns become zero.
+
+    Returns ``(standardized, mean, std)`` — the fit-time statistics are part
+    of the model (a scored feature matrix must be shifted and scaled by the
+    *training* moments), so the trainer stashes them for persistence.
+    """
     mean = matrix.mean(axis=0, keepdims=True)
     std = matrix.std(axis=0, keepdims=True)
     std[std == 0] = 1.0
-    return (matrix - mean) / std
+    return (matrix - mean) / std, mean.reshape(-1), std.reshape(-1)

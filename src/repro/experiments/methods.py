@@ -79,8 +79,16 @@ def run_method(
     cf_refresh_epochs: int | None = None,
     finetune_minibatch: bool | None = None,
     cf_update: str = "rebuild",
+    keep_model: bool = False,
 ) -> MethodResult:
     """Train one method and return its evaluation.
+
+    This is the single entry point every experiment, benchmark and CLI
+    command funnels through, so the experiment code never special-cases
+    Fairwos vs the baselines.  The returned
+    :class:`~repro.baselines.base.MethodResult` carries the evaluation
+    triple; with ``keep_model=True`` it additionally carries the fitted
+    runner, ready for :func:`repro.io.save_artifact`.
 
     Parameters
     ----------
@@ -116,6 +124,12 @@ def run_method(
         ``cf_update="incremental"`` maintains the ANN forest in place
         between refreshes instead of rebuilding it (drift threshold and
         rebuild escape hatch via ``fairwos_config``).
+    keep_model:
+        Attach the fitted runner (the :class:`~repro.core.FairwosTrainer`
+        or baseline instance) to ``result.extra["model"]`` so callers can
+        persist it with :func:`repro.io.save_artifact` (the CLI's
+        ``run --save``).  Off by default: sweep-style callers run many
+        methods and must not pin every model in memory.
     """
     key = method.lower()
     baseline_classes = {
@@ -137,7 +151,10 @@ def run_method(
             num_layers=len(fanouts) if fanouts else 1,
         )
         runner = baseline_classes[key](**kwargs)
-        return runner.fit(graph, seed=seed)
+        result = runner.fit(graph, seed=seed)
+        if keep_model:
+            result.extra["model"] = runner
+        return result
     if key != "fairwos":
         raise ValueError(f"unknown method {method!r}; choose from {METHOD_ORDER}")
 
@@ -175,16 +192,20 @@ def run_method(
             **overrides,
         )
     start = time.perf_counter()
-    result = FairwosTrainer(fairwos_config).fit(graph, seed=seed)
+    trainer = FairwosTrainer(fairwos_config)
+    result = trainer.fit(graph, seed=seed)
     seconds = time.perf_counter() - start
+    extra = {
+        "lambda_weights": result.lambda_weights,
+        "counterfactual_coverage": result.counterfactual_coverage,
+        "timings": result.timings,
+    }
+    if keep_model:
+        extra["model"] = trainer
     return MethodResult(
         method="Fairwos",
         test=result.test,
         validation=result.validation,
         seconds=seconds,
-        extra={
-            "lambda_weights": result.lambda_weights,
-            "counterfactual_coverage": result.counterfactual_coverage,
-            "timings": result.timings,
-        },
+        extra=extra,
     )

@@ -3,13 +3,24 @@
 * :func:`save_graph` / :func:`load_graph` — single-file ``.npz`` round-trip
   of a :class:`~repro.graph.Graph` (adjacency stored in CSR parts);
 * :func:`save_state` / :func:`load_state` — model checkpointing via the
-  ``Module.state_dict`` mapping;
+  ``Module.state_dict`` mapping (:func:`pack_state` / :func:`unpack_state`
+  expose the key scheme for multi-model archives);
+* :func:`save_artifact` / :func:`load_artifact` — versioned whole-method
+  bundles (weights + config + preprocessing state + the standing
+  counterfactual index) powering the ``repro score`` / ``repro serve``
+  path; see :mod:`repro.io.artifact`;
 * :func:`to_networkx` / :func:`from_networkx` — bridge to the networkx
   ecosystem for visualisation and classic graph algorithms.
 """
 
+from repro.io.artifact import (
+    ArtifactError,
+    ModelArtifact,
+    load_artifact,
+    save_artifact,
+)
 from repro.io.graph_io import load_graph, save_graph
-from repro.io.model_io import load_state, save_state
+from repro.io.model_io import load_state, pack_state, save_state, unpack_state
 from repro.io.nx_bridge import from_networkx, to_networkx
 
 __all__ = [
@@ -17,6 +28,12 @@ __all__ = [
     "load_graph",
     "save_state",
     "load_state",
+    "pack_state",
+    "unpack_state",
+    "save_artifact",
+    "load_artifact",
+    "ModelArtifact",
+    "ArtifactError",
     "to_networkx",
     "from_networkx",
 ]

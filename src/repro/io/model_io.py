@@ -1,4 +1,12 @@
-"""Model checkpointing via ``state_dict`` ``.npz`` files."""
+"""Model checkpointing via ``state_dict`` ``.npz`` files.
+
+:func:`save_state` / :func:`load_state` are the single-model round-trip;
+:func:`pack_state` / :func:`unpack_state` expose the underlying key mapping
+(``.`` ↔ ``/``, with an optional namespace prefix) so callers bundling
+several models into one archive — the artifact format of
+:mod:`repro.io.artifact` stores encoder and classifier side by side — share
+the exact same naming scheme instead of re-inventing it.
+"""
 
 from __future__ import annotations
 
@@ -8,18 +16,41 @@ import numpy as np
 
 from repro.nn.module import Module
 
-__all__ = ["save_state", "load_state"]
+__all__ = ["save_state", "load_state", "pack_state", "unpack_state"]
+
+
+def pack_state(model: Module, prefix: str = "") -> dict:
+    """Flatten ``model.state_dict()`` into npz-safe keys.
+
+    Parameter names become archive keys; ``/`` replaces ``.`` because npz
+    keys may not contain dots.  ``prefix`` namespaces the keys (e.g.
+    ``"encoder/"``) so several models can share one archive.
+    """
+    return {
+        prefix + name.replace(".", "/"): value
+        for name, value in model.state_dict().items()
+    }
+
+
+def unpack_state(arrays, prefix: str = "") -> dict:
+    """Invert :func:`pack_state` over a mapping of npz keys to arrays.
+
+    Only keys under ``prefix`` are considered; the returned dict feeds
+    ``Module.load_state_dict`` (which is strict — missing, unexpected or
+    mis-shaped parameters raise).
+    """
+    keys = arrays.files if hasattr(arrays, "files") else arrays.keys()
+    return {
+        key[len(prefix):].replace("/", "."): arrays[key]
+        for key in keys
+        if key.startswith(prefix)
+    }
 
 
 def save_state(model: Module, path: str | Path) -> Path:
-    """Write ``model.state_dict()`` to a compressed ``.npz`` file.
-
-    Parameter names become archive keys; ``/`` replaces ``.`` because npz
-    keys may not be arbitrary (kept reversible by :func:`load_state`).
-    """
+    """Write ``model.state_dict()`` to a compressed ``.npz`` file."""
     path = Path(path)
-    state = {name.replace(".", "/"): value for name, value in model.state_dict().items()}
-    np.savez_compressed(path, **state)
+    np.savez_compressed(path, **pack_state(model))
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
@@ -30,6 +61,6 @@ def load_state(model: Module, path: str | Path) -> Module:
     strict (missing/unexpected/mis-shaped parameters raise).
     """
     with np.load(Path(path), allow_pickle=False) as data:
-        state = {key.replace("/", "."): data[key] for key in data.files}
+        state = unpack_state(data)
     model.load_state_dict(state)
     return model

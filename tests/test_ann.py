@@ -474,3 +474,74 @@ class TestValidationAndFactory:
         out = index.query(X, 3)
         assert out[0, 0] == 0
         assert (out[0, 1:] == -1).all()
+
+
+class TestSerialization:
+    """to_arrays / from_arrays round-trip the forest bit-for-bit."""
+
+    def _build(self, seed=3, n=120, d=8):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        return X, RPForestIndex(**FOREST, seed=seed).build(X)
+
+    def test_round_trip_queries_identical(self):
+        X, index = self._build()
+        restored = RPForestIndex.from_arrays(index.to_arrays())
+        queries = X[:20]
+        np.testing.assert_array_equal(
+            restored.query(queries, 4), index.query(queries, 4)
+        )
+
+    def test_round_trip_exhaustive_identical(self):
+        X, index = self._build()
+        restored = RPForestIndex.from_arrays(index.to_arrays())
+        out = restored.query(X[:10], 3, probes=EXHAUSTIVE)
+        np.testing.assert_array_equal(out, index.query(X[:10], 3, probes=EXHAUSTIVE))
+        np.testing.assert_array_equal(
+            out, exact_topk(X, X[:10], np.arange(X.shape[0]), 3)
+        )
+
+    def test_round_trip_masked_queries(self):
+        X, index = self._build()
+        restored = RPForestIndex.from_arrays(index.to_arrays())
+        mask = np.zeros(X.shape[0], dtype=bool)
+        mask[::3] = True
+        np.testing.assert_array_equal(
+            restored.query(X[:8], 2, mask=mask), index.query(X[:8], 2, mask=mask)
+        )
+
+    def test_update_count_survives(self):
+        rng = np.random.default_rng(5)
+        X, index = self._build(seed=5)
+        moved = X.copy()
+        moved[:10] += 0.5 * rng.normal(size=(10, X.shape[1]))
+        index.update(moved)
+        assert index.update_count == 1
+        restored = RPForestIndex.from_arrays(index.to_arrays())
+        assert restored.update_count == 1
+        # determinism of *future* updates depends on the restored counter:
+        moved2 = moved.copy()
+        moved2[:5] += 0.5 * rng.normal(size=(5, X.shape[1]))
+        index.update(moved2)
+        restored.update(moved2)
+        np.testing.assert_array_equal(
+            restored.query(moved2[:12], 3), index.query(moved2[:12], 3)
+        )
+
+    def test_from_arrays_accepts_npz_handle(self, tmp_path):
+        X, index = self._build()
+        np.savez(tmp_path / "idx.npz", **index.to_arrays())
+        with np.load(tmp_path / "idx.npz") as data:
+            restored = RPForestIndex.from_arrays(data)
+        np.testing.assert_array_equal(
+            restored.query(X[:5], 2), index.query(X[:5], 2)
+        )
+
+    def test_from_arrays_validates(self):
+        X, index = self._build()
+        arrays = index.to_arrays()
+        del arrays["tree0_directions"]
+        with pytest.raises(ValueError):
+            RPForestIndex.from_arrays(arrays)
+        with pytest.raises(ValueError):
+            RPForestIndex.from_arrays({"params": np.zeros(6, dtype=np.int64)})

@@ -1,0 +1,268 @@
+"""Golden round-trip tests for the model-artifact subsystem.
+
+The serving contract: ``save_artifact`` → ``load_artifact`` → ``score``
+reproduces the in-memory model's logits bit-identically, and the persisted
+counterfactual index answers queries exactly like the live one.  Plus the
+failure modes: wrong schema version, corrupt manifest, missing members.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.counterfactual import CounterfactualSearch
+from repro.experiments.methods import run_method
+from repro.io import ArtifactError, load_artifact, save_artifact
+from repro.io.artifact import ARTIFACT_VERSION, graph_fingerprints
+from repro.tensor import Tensor
+from repro.training import predict_logits, predict_logits_batched
+
+
+@pytest.fixture(scope="module")
+def fairwos_run(small_graph):
+    """A fitted Fairwos trainer (ANN backend) kept for parity checks."""
+    result = run_method(
+        "fairwos",
+        small_graph,
+        epochs=4,
+        finetune_epochs=2,
+        cf_backend="ann",
+        keep_model=True,
+    )
+    return result.extra["model"]
+
+
+@pytest.fixture(scope="module")
+def fairwos_artifact(fairwos_run, small_graph, tmp_path_factory):
+    path = tmp_path_factory.mktemp("artifacts") / "fairwos"
+    save_artifact(fairwos_run, small_graph, path)
+    return path
+
+
+class TestFairwosRoundTrip:
+    def test_score_bit_identical(self, fairwos_run, fairwos_artifact, small_graph):
+        live = fairwos_run.predict(small_graph)
+        art = load_artifact(fairwos_artifact)
+        reloaded = art.score()
+        np.testing.assert_array_equal(reloaded, live)
+        # the acceptance bound, trivially implied by exact equality
+        assert np.abs(reloaded - live).max() <= 1e-12
+
+    def test_score_node_subset_aligns(self, fairwos_run, fairwos_artifact, small_graph):
+        art = load_artifact(fairwos_artifact)
+        nodes = np.array([3, 17, 42, 99])
+        np.testing.assert_array_equal(
+            art.score(nodes=nodes), fairwos_run.predict(small_graph)[nodes]
+        )
+
+    def test_manifest_records_dataset(self, fairwos_artifact, small_graph):
+        art = load_artifact(fairwos_artifact)
+        dataset = art.manifest["dataset"]
+        assert dataset["name"] == small_graph.name
+        assert dataset["num_nodes"] == small_graph.num_nodes
+        assert dataset["fingerprints"] == graph_fingerprints(small_graph)
+
+    def test_matches_fingerprints(self, fairwos_artifact, small_graph, tiny_graph):
+        art = load_artifact(fairwos_artifact)
+        assert art.matches(small_graph)
+        assert not art.matches(tiny_graph)
+
+    def test_bundled_graph_round_trips(self, fairwos_artifact, small_graph):
+        art = load_artifact(fairwos_artifact)
+        np.testing.assert_array_equal(art.graph.features, small_graph.features)
+        np.testing.assert_array_equal(art.graph.labels, small_graph.labels)
+
+    def test_wrong_node_count_suggests_features(self, fairwos_artifact, tiny_graph):
+        art = load_artifact(fairwos_artifact)
+        with pytest.raises(ArtifactError, match="pass features="):
+            art.score(graph=tiny_graph)
+
+    def test_score_new_features_matches_transform(
+        self, fairwos_run, fairwos_artifact, small_graph, rng
+    ):
+        art = load_artifact(fairwos_artifact)
+        perturbed = small_graph.features + 0.01 * rng.normal(
+            size=small_graph.features.shape
+        )
+        scored = art.score(features=perturbed)
+        pseudo = fairwos_run.transform_features(perturbed, small_graph.adjacency)
+        expected = predict_logits(
+            fairwos_run.classifier, Tensor(pseudo), small_graph.adjacency
+        )
+        np.testing.assert_array_equal(scored, expected)
+
+
+class TestPersistedIndex:
+    def test_exhaustive_retrieval_matches_exact_oracle(
+        self, fairwos_run, fairwos_artifact
+    ):
+        art = load_artifact(fairwos_artifact)
+        persisted = art.counterfactuals(probes="exhaustive")
+        search = CounterfactualSearch(fairwos_run.config.top_k)  # exact backend
+        live = search.search(
+            art._index_points,
+            fairwos_run._pseudo_labels,
+            fairwos_run._binary_attrs,
+        )
+        np.testing.assert_array_equal(persisted.indices, live.indices)
+        np.testing.assert_array_equal(persisted.valid, live.valid)
+
+    def test_persisted_forest_matches_live_forest(self, fairwos_run, fairwos_artifact):
+        # Same forest, same routing tables: default-probes queries agree
+        # with the live index the trainer left standing.
+        live_index = fairwos_run._search.backend._index
+        art = load_artifact(fairwos_artifact)
+        assert art._index is not None
+        assert art._index.update_count == live_index.update_count
+        queries = live_index.points[:16]
+        np.testing.assert_array_equal(
+            art._index.query(queries, 3), live_index.query(queries, 3)
+        )
+
+    def test_node_subset_rows_match_full_query(self, fairwos_artifact):
+        art = load_artifact(fairwos_artifact)
+        nodes = np.array([5, 9, 23])
+        subset = art.counterfactuals(nodes=nodes, probes="exhaustive")
+        full = art.counterfactuals(probes="exhaustive")
+        np.testing.assert_array_equal(
+            subset.indices[:, nodes], full.indices[:, nodes]
+        )
+        # unqueried rows are left invalid
+        others = np.setdiff1d(np.arange(subset.valid.shape[1]), nodes)
+        assert not subset.valid[:, others].any()
+
+    def test_probes_override_int(self, fairwos_artifact):
+        art = load_artifact(fairwos_artifact)
+        result = art.counterfactuals(top_k=2, probes=4)
+        assert result.top_k == 2
+
+
+class TestBaselineRoundTrip:
+    def test_vanilla_fullbatch_bit_identical(self, small_graph, tmp_path):
+        result = run_method("vanilla", small_graph, epochs=5, keep_model=True)
+        runner = result.extra["model"]
+        live = predict_logits(
+            runner.model_, Tensor(small_graph.features), small_graph.adjacency
+        )
+        save_artifact(runner, small_graph, tmp_path / "vanilla")
+        art = load_artifact(tmp_path / "vanilla")
+        np.testing.assert_array_equal(art.score(), live)
+        assert np.abs(art.score() - live).max() <= 1e-12
+
+    def test_remover_minibatch_bit_identical(self, small_graph, tmp_path):
+        result = run_method(
+            "remover",
+            small_graph,
+            epochs=4,
+            minibatch=True,
+            fanouts=(5,),
+            batch_size=64,
+            keep_model=True,
+        )
+        runner = result.extra["model"]
+        raw = small_graph.features[:, runner.feature_columns_]
+        live = predict_logits_batched(
+            runner.model_, raw, small_graph.adjacency, batch_size=64
+        )
+        save_artifact(runner, small_graph, tmp_path / "remover")
+        art = load_artifact(tmp_path / "remover")
+        np.testing.assert_array_equal(art.score(), live)
+        # the column selection itself round-trips
+        np.testing.assert_array_equal(
+            art.baseline.feature_columns_, runner.feature_columns_
+        )
+
+    def test_baseline_has_no_counterfactuals(self, small_graph, tmp_path):
+        result = run_method("vanilla", small_graph, epochs=2, keep_model=True)
+        save_artifact(result.extra["model"], small_graph, tmp_path / "v")
+        art = load_artifact(tmp_path / "v")
+        with pytest.raises(ArtifactError, match="no counterfactual"):
+            art.counterfactuals()
+
+    def test_unfitted_baseline_rejected(self, small_graph, tmp_path):
+        from repro.baselines import Vanilla
+
+        with pytest.raises(ArtifactError, match="model_"):
+            save_artifact(Vanilla(), small_graph, tmp_path / "unfit")
+
+
+class TestManifestValidation:
+    def test_not_an_artifact(self, tmp_path):
+        with pytest.raises(ArtifactError, match="not a model artifact"):
+            load_artifact(tmp_path)
+
+    def test_version_mismatch(self, fairwos_artifact, tmp_path):
+        import shutil
+
+        copy = tmp_path / "bumped"
+        shutil.copytree(fairwos_artifact, copy)
+        manifest = json.loads((copy / "manifest.json").read_text())
+        manifest["format_version"] = ARTIFACT_VERSION + 1
+        (copy / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="unsupported artifact version"):
+            load_artifact(copy)
+
+    def test_corrupt_manifest_json(self, fairwos_artifact, tmp_path):
+        import shutil
+
+        copy = tmp_path / "corrupt"
+        shutil.copytree(fairwos_artifact, copy)
+        (copy / "manifest.json").write_text("{not json")
+        with pytest.raises(ArtifactError, match="corrupt manifest"):
+            load_artifact(copy)
+
+    def test_missing_member_file(self, fairwos_artifact, tmp_path):
+        import shutil
+
+        copy = tmp_path / "gutted"
+        shutil.copytree(fairwos_artifact, copy)
+        (copy / "model.npz").unlink()
+        with pytest.raises(ArtifactError, match="missing member"):
+            load_artifact(copy)
+
+    def test_unknown_kind(self, fairwos_artifact, tmp_path):
+        import shutil
+
+        copy = tmp_path / "alien"
+        shutil.copytree(fairwos_artifact, copy)
+        manifest = json.loads((copy / "manifest.json").read_text())
+        manifest["kind"] = "mystery"
+        (copy / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="unknown artifact kind"):
+            load_artifact(copy)
+
+    def test_non_model_rejected(self, small_graph, tmp_path):
+        with pytest.raises(ArtifactError, match="cannot persist"):
+            save_artifact(object(), small_graph, tmp_path / "obj")
+
+
+class TestGraphlessArtifact:
+    def test_score_requires_explicit_graph(self, fairwos_run, small_graph, tmp_path):
+        path = tmp_path / "nograph"
+        save_artifact(fairwos_run, small_graph, path, include_graph=False)
+        art = load_artifact(path)
+        assert art.graph is None
+        with pytest.raises(ArtifactError, match="pass one explicitly"):
+            art.score()
+        np.testing.assert_array_equal(
+            art.score(graph=small_graph), fairwos_run.predict(small_graph)
+        )
+
+
+class TestAuditSurface:
+    def test_audit_matches_direct_call(self, fairwos_run, fairwos_artifact, small_graph):
+        from repro.fairness.audit import audit_predictions
+
+        art = load_artifact(fairwos_artifact)
+        direct = audit_predictions(fairwos_run.predict(small_graph), small_graph)
+        assert art.audit().evaluation == direct.evaluation
+
+    def test_audit_windows_shapes(self, fairwos_artifact):
+        art = load_artifact(fairwos_artifact)
+        report = art.audit_windows(num_windows=3)
+        assert report.num_windows == 3
+        assert int(report.ends[-1]) == art.graph.num_nodes
+        assert "drift" in report.render()

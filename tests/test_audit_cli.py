@@ -114,3 +114,142 @@ class TestCLI:
         ])
         assert "Fairwos" in output
         assert "cf-backend=ann" in output
+
+
+class TestAuditPredictionWindows:
+    def _stream(self, n=80, seed=0):
+        rng = np.random.default_rng(seed)
+        logits = rng.normal(size=n)
+        labels = rng.integers(0, 2, size=n)
+        sensitive = rng.integers(0, 2, size=n)
+        return logits, labels, sensitive
+
+    def test_windows_tile_the_stream(self):
+        from repro.fairness.audit import audit_prediction_windows
+
+        logits, labels, sensitive = self._stream()
+        report = audit_prediction_windows(logits, labels, sensitive, num_windows=4)
+        assert report.num_windows == 4
+        assert report.starts[0] == 0
+        assert report.ends[-1] == logits.size
+        np.testing.assert_array_equal(report.starts[1:], report.ends[:-1])
+        assert sum(ev.num_nodes for ev in report.evaluations) == logits.size
+
+    def test_single_window_zero_drift(self):
+        from repro.fairness.audit import audit_prediction_windows
+
+        logits, labels, sensitive = self._stream()
+        report = audit_prediction_windows(logits, labels, sensitive, num_windows=1)
+        assert report.delta_sp_drift == 0.0
+
+    def test_drift_detects_flipped_half(self):
+        from repro.fairness.audit import audit_prediction_windows
+
+        # First half: predictions independent of s.  Second half: predict s.
+        n = 100
+        rng = np.random.default_rng(3)
+        sensitive = rng.integers(0, 2, size=n)
+        labels = rng.integers(0, 2, size=n)
+        logits = np.concatenate(
+            [rng.normal(size=n // 2), np.where(sensitive[n // 2 :] == 1, 5.0, -5.0)]
+        )
+        report = audit_prediction_windows(logits, labels, sensitive, num_windows=2)
+        assert report.delta_sp_drift > 0.3
+
+    def test_one_sided_window_reports_nan_not_crash(self):
+        from repro.fairness.audit import audit_prediction_windows
+
+        logits = np.array([1.0, -1.0, 1.0, -1.0])
+        labels = np.array([1, 0, 1, 0])
+        sensitive = np.array([0, 0, 1, 1])  # window 0 all-s0, window 1 all-s1
+        report = audit_prediction_windows(logits, labels, sensitive, num_windows=2)
+        assert np.isnan(report.evaluations[0].delta_sp)
+        assert report.evaluations[0].accuracy == 1.0
+        assert report.delta_sp_drift == 0.0
+        assert "nan" in report.render()
+
+    def test_validation_errors(self):
+        from repro.fairness.audit import audit_prediction_windows
+
+        logits, labels, sensitive = self._stream(n=4)
+        with pytest.raises(ValueError, match="aligned"):
+            audit_prediction_windows(logits, labels[:-1], sensitive)
+        with pytest.raises(ValueError, match="num_windows"):
+            audit_prediction_windows(logits, labels, sensitive, num_windows=0)
+        with pytest.raises(ValueError, match="cannot split"):
+            audit_prediction_windows(logits, labels, sensitive, num_windows=5)
+
+
+@pytest.fixture(scope="module")
+def cli_artifact(tmp_path_factory):
+    """A small Fairwos artifact trained through the CLI itself."""
+    path = tmp_path_factory.mktemp("cli") / "artifact"
+    main([
+        "run", "--method", "fairwos", "--dataset", "nba", "--epochs", "5",
+        "--save", str(path),
+    ])
+    return path
+
+
+class TestScoreCommand:
+    def test_score_full_graph(self, cli_artifact):
+        output = main(["score", "--artifact", str(cli_artifact)])
+        assert "Fairwos artifact" in output
+        assert "scored 403 nodes" in output
+
+    def test_score_nodes_audit_and_out(self, cli_artifact, tmp_path):
+        out = tmp_path / "logits.npy"
+        output = main([
+            "score", "--artifact", str(cli_artifact),
+            "--node-ids", "1,5,9", "--out", str(out),
+            "--audit", "--audit-windows", "3", "--counterfactuals", "2",
+        ])
+        assert "scored 3 nodes" in output
+        assert "Bias audit" in output
+        assert "Fairness drift audit (3 windows)" in output
+        assert "counterfactual twins" in output
+        assert np.load(out).shape == (3,)
+
+    def test_score_missing_artifact_raises(self, tmp_path):
+        from repro.io import ArtifactError
+
+        with pytest.raises(ArtifactError, match="not a model artifact"):
+            main(["score", "--artifact", str(tmp_path)])
+
+    def test_parser_score_flags(self):
+        args = build_parser().parse_args([
+            "score", "--artifact", "a", "--node-ids", "1,2", "--probes",
+            "exhaustive",
+        ])
+        assert args.command == "score"
+        assert args.probes == "exhaustive"
+
+
+class TestServeCommand:
+    def test_serve_loop(self, cli_artifact, capsys):
+        import io
+
+        from repro.cli import _cmd_serve
+
+        args = build_parser().parse_args(["serve", "--artifact", str(cli_artifact)])
+        stdin = io.StringIO("score 1,5,9\ncf 3 2\naudit\nwindows 2\nbogus\nquit\n")
+        summary = _cmd_serve(args, stdin=stdin)
+        assert "served 5 requests" in summary
+        transcript = capsys.readouterr().out
+        assert "1:" in transcript and "5:" in transcript
+        assert "counterfactual twins" in transcript
+        assert "Fairness drift audit (2 windows)" in transcript
+        assert "unknown command 'bogus'" in transcript
+
+    def test_serve_bad_request_is_nonfatal(self, cli_artifact, capsys):
+        import io
+
+        from repro.cli import _cmd_serve
+
+        args = build_parser().parse_args(["serve", "--artifact", str(cli_artifact)])
+        stdin = io.StringIO("score 999999\nscore 1\n")
+        summary = _cmd_serve(args, stdin=stdin)
+        assert "served 2 requests" in summary
+        transcript = capsys.readouterr().out
+        assert "error:" in transcript
+        assert "1:" in transcript

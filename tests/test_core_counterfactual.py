@@ -241,3 +241,56 @@ class TestBackends:
             reps, labels, attrs
         )
         np.testing.assert_array_equal(via_str.indices, via_obj.indices)
+
+
+class TestQueryNodeSubset:
+    """search(nodes=...) restricts queries, not candidates."""
+
+    def _data(self, seed=0, n=60):
+        rng = np.random.default_rng(seed)
+        reps = rng.normal(size=(n, 4))
+        labels = rng.integers(0, 2, size=n)
+        attrs = rng.integers(0, 2, size=(n, 3))
+        return reps, labels, attrs
+
+    def test_subset_rows_match_full_search(self):
+        reps, labels, attrs = self._data()
+        search = CounterfactualSearch(top_k=2)
+        nodes = np.array([0, 7, 31, 59])
+        full = search.search(reps, labels, attrs)
+        subset = search.search(reps, labels, attrs, nodes=nodes)
+        np.testing.assert_array_equal(
+            subset.indices[:, nodes], full.indices[:, nodes]
+        )
+        np.testing.assert_array_equal(subset.valid[:, nodes], full.valid[:, nodes])
+
+    def test_unqueried_rows_invalid_and_self_pointing(self):
+        reps, labels, attrs = self._data(seed=1)
+        nodes = np.array([2, 3])
+        result = CounterfactualSearch(top_k=2).search(
+            reps, labels, attrs, nodes=nodes
+        )
+        others = np.setdiff1d(np.arange(reps.shape[0]), nodes)
+        assert not result.valid[:, others].any()
+        # unqueried rows keep the self-pointing convention
+        for v in others[:5]:
+            assert (result.indices[:, v] == v).all()
+
+    def test_candidates_stay_full_set(self):
+        # A queried node's counterfactual may be an *unqueried* node.
+        reps = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.zeros(4, dtype=int)
+        attrs = np.array([[0], [1], [0], [1]])
+        result = CounterfactualSearch(top_k=1).search(
+            reps, labels, attrs, nodes=np.array([0])
+        )
+        assert result.indices[0, 0, 0] == 1  # node 1 was not queried
+        assert result.valid[0, 0]
+
+    def test_node_validation(self):
+        reps, labels, attrs = self._data()
+        search = CounterfactualSearch(top_k=1)
+        with pytest.raises(ValueError):
+            search.search(reps, labels, attrs, nodes=np.array([-1]))
+        with pytest.raises(ValueError):
+            search.search(reps, labels, attrs, nodes=np.array([reps.shape[0]]))

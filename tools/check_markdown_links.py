@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Check that relative links in the repo's markdown files resolve.
+
+Stdlib-only so CI can run it before installing anything.  Scans every
+tracked ``*.md`` file for inline links/images ``[text](target)`` and
+reference definitions ``[label]: target``, and fails when a relative
+target does not exist on disk.  External schemes (``http(s)://``,
+``mailto:``) and in-page anchors (``#section``) are skipped — CI has no
+network and anchor slugs are renderer-specific.
+
+Usage::
+
+    python tools/check_markdown_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SKIP_DIRS = {".git", ".venv", "node_modules", "__pycache__", "output"}
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+# [text](target "title") — target may not contain whitespace or ')'
+_INLINE = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+# [label]: target
+_REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+
+
+def markdown_files(root: Path) -> list[Path]:
+    return sorted(
+        path
+        for path in root.rglob("*.md")
+        if not (set(path.relative_to(root).parts[:-1]) & SKIP_DIRS)
+    )
+
+
+def strip_code(text: str) -> str:
+    """Drop fenced code blocks and inline code spans (links there are prose)."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`\n]*`", "", text)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    text = strip_code(path.read_text())
+    problems = []
+    targets = _INLINE.findall(text) + _REFERENCE.findall(text)
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(root)}: broken link -> {target}"
+            )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    root = Path(argv[1]).resolve() if len(argv) > 1 else Path(__file__).resolve().parents[1]
+    problems: list[str] = []
+    files = markdown_files(root)
+    for path in files:
+        problems.extend(check_file(path, root))
+    if problems:
+        print("\n".join(problems))
+        print(f"\n{len(problems)} broken link(s) across {len(files)} markdown files")
+        return 1
+    print(f"all relative links resolve across {len(files)} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
