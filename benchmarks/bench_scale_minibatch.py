@@ -12,27 +12,37 @@ every phase sampled and the ANN counterfactual backend — the configuration
 that takes Fairwos past the ~10k-node ceiling of the exact O(N²) search —
 and reports per-phase wall-time plus peak memory.
 
+``test_scale_fairwos_fullstack`` is the 1M-node acceptance run: the same
+pipeline with ``dtype="float32"``, the graph saved via ``save_graph_mmap``
+and memory-mapped back, and incremental ANN index maintenance — trained in
+a child process whose peak RSS (the OS-level number, which tracemalloc
+cannot see mmap paging in) is recorded into the bench JSON.
+
 Graph size follows REPRO_BENCH_SCALE: smoke ≈ 2k nodes, quick ≈ 20k
-(Fairwos: 50k), paper ≈ 200k (Fairwos: 100k).  The minibatch engine's peak
-memory is bounded by the batch receptive field rather than N, so its
-advantage grows with scale; the ordering is only asserted at paper scale
-where the gap is structural.
+(Fairwos: 50k), paper ≈ 200k (Fairwos: 100k), full = 1M for the
+full-stack run.  The minibatch engine's peak memory is bounded by the
+batch receptive field rather than N, so its advantage grows with scale;
+the ordering is only asserted at paper scale where the gap is structural.
 """
 
 from __future__ import annotations
 
+import json
+import subprocess
+import sys
 import time
 import tracemalloc
 
 import numpy as np
 import pytest
-from conftest import bench_scale, record_json, record_output
+from conftest import bench_scale, bench_scale_name, record_json, record_output
 
 from repro.core import FairwosConfig, FairwosTrainer
 from repro.datasets import generate_scale_free_graph
 from repro.experiments import run_method
 from repro.fairness.metrics import accuracy
 from repro.gnnzoo import make_backbone
+from repro.io import save_graph_mmap
 from repro.tensor import Tensor
 from repro.training import (
     fit_binary_classifier,
@@ -42,8 +52,25 @@ from repro.training import (
 )
 
 SCALE = bench_scale()
-NODES = {1: 2_000, 2: 20_000, 10: 200_000}.get(SCALE.seeds, 20_000)
-FAIRWOS_NODES = {1: 2_000, 2: 50_000, 10: 100_000}.get(SCALE.seeds, 50_000)
+SCALE_NAME = bench_scale_name()
+# Node counts key off the scale *name*: "full" reuses smoke's epoch/seed
+# budgets (one sampled epoch at 1M is already ~1000 optimizer steps), so
+# keying off SCALE.seeds would collide it with smoke.
+NODES = {"smoke": 2_000, "quick": 20_000, "paper": 200_000, "full": 200_000}[
+    SCALE_NAME
+]
+FAIRWOS_NODES = {
+    "smoke": 2_000,
+    "quick": 50_000,
+    "paper": 100_000,
+    "full": 100_000,
+}[SCALE_NAME]
+FULLSTACK_NODES = {
+    "smoke": 2_000,
+    "quick": 50_000,
+    "paper": 200_000,
+    "full": 1_000_000,
+}[SCALE_NAME]
 EPOCHS = max(3, min(SCALE.epochs // 15, 10))
 FANOUTS = (10, 5)
 BATCH_SIZE = 512
@@ -228,9 +255,11 @@ def test_scale_sampler_cache(benchmark):
     above, reusing sampled block structure for 8-epoch windows must cut
     *sampled-epoch wall-time* (``FitHistory.epoch_train_seconds`` — the
     batch loops only, validation excluded, which is what per-batch numpy
-    sampling overhead actually dominates) by at least 2x, with the exact
+    sampling overhead actually dominates) by at least 1.5x, with the exact
     batched evaluation unchanged, so test accuracy moves at most noise.
-    Measured here: ~4.5x at 50k nodes, SAGE (10, 5), batch 512.
+    Measured ~2x at 50k nodes, SAGE (10, 5), batch 512 — it was ~4.5x
+    before the counting-sort fresh-sample path cut the uncached epoch cost
+    itself by ~2x; both absolute times are gated in bench_baseline.json.
     """
     graph = generate_scale_free_graph(
         FAIRWOS_NODES, num_features=12, average_degree=8, seed=0
@@ -297,11 +326,14 @@ def test_scale_sampler_cache(benchmark):
     # Cached sampling changes only how often structure is drawn, never the
     # exact evaluation — accuracy must stay competitive.
     assert cached_acc >= fresh_acc - 0.05
-    # The headline contract: >= 2x sampled-epoch wall-time at real scale.
+    # The headline contract: >= 1.5x sampled-epoch wall-time at real scale
+    # (the counting-sort fresh path compressed the ratio from ~4.5x to ~2x
+    # by speeding up the *uncached* denominator; absolute regressions in
+    # either path are caught by the bench_baseline.json gate instead).
     # The smoke graph's epochs are a handful of near-instant batches where
     # fixed overheads dominate, so the ratio is only asserted from quick up.
     if FAIRWOS_NODES >= 20_000:
-        assert speedup >= 2.0, f"sampler cache speedup {speedup:.2f}x < 2x"
+        assert speedup >= 1.5, f"sampler cache speedup {speedup:.2f}x < 1.5x"
 
 
 def test_scale_fairwos_end_to_end(benchmark):
@@ -380,3 +412,135 @@ def test_scale_fairwos_end_to_end(benchmark):
     if FAIRWOS_NODES >= 50_000:
         exact_bucket_bytes = 8 * (FAIRWOS_NODES / 2) ** 2
         assert peak < exact_bucket_bytes / 10
+
+
+# The whole Fairwos fit runs in a child process so the parent's graph
+# generation (which materialises the full float64 dataset) cannot inflate
+# the measured high-water mark: ru_maxrss is per-process and monotone.
+_FULLSTACK_CHILD = """
+import json, resource, sys, time
+
+from repro.core import FairwosConfig, FairwosTrainer
+from repro.io import load_graph
+
+graph = load_graph(sys.argv[1], mmap=True)
+config = FairwosConfig(
+    minibatch=True,
+    cf_backend="ann",
+    cf_update="incremental",
+    dtype="float32",
+    batch_size=1024,
+    encoder_epochs=int(sys.argv[2]),
+    classifier_epochs=int(sys.argv[2]),
+    finetune_epochs=3,
+    cf_refresh_epochs=3,
+    cf_attrs_per_step=4,
+    max_pseudo_attributes=8,
+    patience=None,
+)
+start = time.perf_counter()
+result = FairwosTrainer(config).fit(graph, seed=0)
+wall = time.perf_counter() - start
+# Linux reports ru_maxrss in KiB; resident mmap pages are included, which
+# is the point — tracemalloc never sees them.
+peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+print(json.dumps({
+    "wall_seconds": wall,
+    "peak_rss_mib": peak_kib / 1024,
+    "phase_seconds": dict(result.timings),
+    "test_accuracy": result.test.accuracy,
+    "delta_sp": result.test.delta_sp,
+    "counterfactual_coverage": result.counterfactual_coverage,
+    "pseudo_dtype": str(result.pseudo_attributes.dtype),
+}))
+"""
+
+
+def test_scale_fairwos_fullstack(benchmark, tmp_path):
+    """The 1M-node tier, end to end: float32 + mmap + ANN + incremental.
+
+    The acceptance run this bench file exists for: a scale-free graph at
+    FULLSTACK_NODES is standardised, downcast to float32, written with
+    ``save_graph_mmap`` and trained *from the memory-mapped copy* in a
+    fresh process — sampled minibatches everywhere, the ANN counterfactual
+    backend, and incremental index maintenance across refreshes.  The
+    child's peak RSS is the honest memory number for the run (mmap paging
+    is invisible to tracemalloc) and is gated both structurally (far below
+    the exact backend's O(N²) bucket) and linearly (a per-node budget that
+    a revert to float64 or eager feature loading blows through).
+    """
+    nodes = FULLSTACK_NODES
+    graph = generate_scale_free_graph(
+        nodes, num_features=12, average_degree=8, seed=0
+    ).standardized()
+    graph = graph.with_features(
+        graph.features.astype(np.float32),
+        related=graph.related_feature_indices,
+    )
+    summary = graph.summary()
+    graph_dir = save_graph_mmap(graph, tmp_path / "graph")
+    del graph
+    # Optimizer steps per epoch scale with ceil(N / batch); small smoke
+    # graphs need more epochs for a comparable budget (same rule as above).
+    epochs = max(EPOCHS, 60_000 // nodes)
+
+    def run():
+        proc = subprocess.run(
+            [sys.executable, "-c", _FULLSTACK_CHILD, str(graph_dir), str(epochs)],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    phases = "  ".join(
+        f"{name}={sec:.1f}s" for name, sec in stats["phase_seconds"].items()
+    )
+    lines = [
+        f"scale-free graph: {summary}",
+        "fairwos fullstack: float32 + mmap + ann + incremental "
+        "batch=1024 cf_refresh=3 cf_attrs_per_step=4 I=8 K=5",
+        "",
+        f"phases: {phases}",
+        f"total {stats['wall_seconds']:.1f}s  "
+        f"peak RSS {stats['peak_rss_mib']:.0f} MiB",
+        f"test acc {stats['test_accuracy']:.3f}  ΔSP {stats['delta_sp']:.3f}",
+        f"counterfactual coverage: {stats['counterfactual_coverage']:.3f}",
+    ]
+    record_output("scale_fairwos_fullstack", "\n".join(lines))
+    record_json(
+        "scale_fairwos_fullstack",
+        {
+            "nodes": nodes,
+            "dtype": "float32",
+            "mmap": True,
+            "cf_update": "incremental",
+            "epochs": epochs,
+            **stats,
+        },
+    )
+
+    # All three phases ran, in float32, with near-total CF coverage.
+    assert set(stats["phase_seconds"]) == {
+        "encoder",
+        "classifier_pretrain",
+        "finetune",
+    }
+    assert stats["pseudo_dtype"] == "float32"
+    assert stats["counterfactual_coverage"] > 0.9
+    # The smoke graph's budget is too small to assert learning (matching
+    # the other scale benches).
+    if nodes >= 20_000:
+        assert stats["test_accuracy"] > 0.55
+    peak_rss_bytes = stats["peak_rss_mib"] * 2**20
+    if nodes >= 50_000:
+        # Structural: nowhere near the exact backend's O(N²) bucket.
+        exact_bucket_bytes = 8 * (nodes / 2) ** 2
+        assert peak_rss_bytes < exact_bucket_bytes / 10
+        # Linear: RSS is O(N) state — the I·K CF pair index and its fused
+        # loss CSR, the ANN forest, resident adjacency pages — measured
+        # ~3.7 KB/node at 1M; budget 4.5 KB/node so a float64 revert or an
+        # eagerly materialised feature matrix trips, runner variance not.
+        assert peak_rss_bytes < 4_500 * nodes + 600 * 2**20

@@ -6,7 +6,10 @@ and writes them to ``benchmarks/output/<name>.txt`` for inspection.
 
 Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
 ``smoke`` (seconds, structural check only), ``quick`` (default — minutes,
-faithful shapes), ``paper`` (the full 10-seed protocol; hours on CPU).
+faithful shapes), ``paper`` (the full 10-seed protocol; hours on CPU), and
+``full`` (the 1M-node scale tier: smoke-sized epoch budgets — at 1M nodes
+one epoch is already ~1000 optimizer steps — with node counts keyed off
+the scale *name* in the scale benches).
 """
 
 from __future__ import annotations
@@ -22,15 +25,30 @@ from repro.experiments import Scale
 OUTPUT_DIR = Path(__file__).parent / "output"
 
 
+# "full" shares smoke's epoch/seed budgets: at 1M nodes a single sampled
+# epoch is ~1000 optimizer steps, so the knob that matters is the node
+# count, which the scale benches key off bench_scale_name() instead.
+_PRESETS = {
+    "smoke": Scale.smoke,
+    "quick": Scale.quick,
+    "paper": Scale.paper,
+    "full": Scale.smoke,
+}
+
+
+def bench_scale_name() -> str:
+    """Validated REPRO_BENCH_SCALE name (default: quick)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name not in _PRESETS:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_PRESETS)}, got {name!r}"
+        )
+    return name
+
+
 def bench_scale() -> Scale:
     """Scale selected by REPRO_BENCH_SCALE (default: quick)."""
-    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
-    presets = {"smoke": Scale.smoke, "quick": Scale.quick, "paper": Scale.paper}
-    if name not in presets:
-        raise ValueError(
-            f"REPRO_BENCH_SCALE must be one of {sorted(presets)}, got {name!r}"
-        )
-    return presets[name]()
+    return _PRESETS[bench_scale_name()]()
 
 
 def record_output(name: str, text: str) -> None:

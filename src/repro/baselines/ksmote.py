@@ -292,22 +292,39 @@ class KSMOTE(BaselineMethod):
         """
         parents = np.asarray(parents, dtype=np.int64)
         num_real = adjacency.shape[0]
-        num_total = num_real + parents.size
-        new_ids = num_real + np.arange(parents.size, dtype=np.int64)
+        num_synth = parents.size
+        num_total = num_real + num_synth
         degrees = np.diff(adjacency.indptr)[parents]
         total = int(degrees.sum())
         # Every parent's neighbour list, expanded in one shot.
         row_starts = np.concatenate(([0], np.cumsum(degrees)))[:-1]
         within = np.arange(total) - np.repeat(row_starts, degrees)
         neighbors = adjacency.indices[np.repeat(adjacency.indptr[parents], degrees) + within]
-        synth_of_edge = np.repeat(new_ids, degrees)
-        rows = np.concatenate([synth_of_edge, neighbors, new_ids, parents])
-        cols = np.concatenate([neighbors, synth_of_edge, parents, new_ids])
-        coo = sp.coo_matrix(adjacency)
-        all_rows = np.concatenate([coo.row, rows])
-        all_cols = np.concatenate([coo.col, cols])
-        data = np.ones(all_rows.size)
-        out = sp.csr_matrix((data, (all_rows, all_cols)), shape=(num_total, num_total))
-        out.sum_duplicates()
-        out.data = np.ones_like(out.data)
+        # Append-only: the (N, N) block is the standing CSR, untouched; only
+        # the synthetic rows/columns are materialised as COO.  The previous
+        # implementation round-tripped the whole (N+S)² matrix through COO —
+        # an O(nnz) re-sort and triple-array allocation per oversampling
+        # call that dominated covering-mode setup at the 1M tier.
+        synth_ids = np.arange(num_synth, dtype=np.int64)
+        synth_of_edge = np.repeat(synth_ids, degrees)
+        new_rows = np.concatenate([synth_of_edge, synth_ids])
+        new_cols = np.concatenate([neighbors, parents])
+        ones = np.ones(new_rows.size)
+        bottom = sp.csr_matrix(
+            (ones, (new_rows, new_cols)), shape=(num_synth, num_total)
+        )
+        bottom.sum_duplicates()
+        bottom.data = np.ones_like(bottom.data)
+        top_right = sp.csr_matrix(
+            (ones, (new_cols, new_rows)), shape=(num_real, num_synth)
+        )
+        top_right.sum_duplicates()
+        top_right.data = np.ones_like(top_right.data)
+        base = adjacency.tocsr().copy()
+        base.sum_duplicates()
+        base.data = np.ones_like(base.data)
+        out = sp.vstack(
+            [sp.hstack([base, top_right], format="csr"), bottom], format="csr"
+        )
+        out.sort_indices()
         return out

@@ -146,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
         "or incrementally re-route only drifted points",
     )
     run_parser.add_argument(
+        "--dtype",
+        choices=("float64", "float32"),
+        default="float64",
+        help="floating precision of the training stack (float32 halves "
+        "resident memory on large graphs; float64 is the exact baseline)",
+    )
+    run_parser.add_argument(
         "--save",
         default=None,
         metavar="DIR",
@@ -320,6 +327,7 @@ def _cmd_run(args) -> str:
         cf_backend=args.cf_backend,
         cf_refresh_epochs=args.cf_refresh,
         cf_update=args.cf_update,
+        dtype=args.dtype,
         keep_model=args.save is not None,
     )
     mode = ""
@@ -337,6 +345,8 @@ def _cmd_run(args) -> str:
         mode += f", cf-backend={args.cf_backend}"
         if args.cf_update != "rebuild":
             mode += f" cf-update={args.cf_update}"
+    if args.dtype != "float64":
+        mode += f", dtype={args.dtype}"
     output = (
         f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}"
         f"{mode}):\n  {result.test}\n  trained in {result.seconds:.1f}s"

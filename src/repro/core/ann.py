@@ -113,7 +113,9 @@ def exact_topk(
         row_order = np.take_along_axis(distances, top, axis=1).argsort(axis=1)
         top = np.take_along_axis(top, row_order, axis=1)
     else:
-        top = distances.argsort(axis=1)
+        # Stable, like every other ranking path: duplicate distances break
+        # ties by candidate position (ascending id for sorted candidates).
+        top = distances.argsort(axis=1, kind="stable")
     return candidate_ids[top]
 
 
@@ -125,6 +127,13 @@ class UpdateReport:
     ``rebuilt`` is True when the drifted fraction tripped the
     ``rebuild_frac`` escape hatch and the whole forest was rebuilt instead;
     ``splits`` counts overflowing leaves lazily rebuilt as subtrees.
+
+    ``orphaned`` is the number of unreachable leaf slots left standing
+    across all trees *after* this call (each ``_split_leaf`` orphans the
+    slot it replaced), and ``compacted`` the number of slots reclaimed by
+    the compaction pass this call triggered — together they make the
+    ``compact_frac`` trigger observable.  A rebuild (escape hatch or
+    fresh ``build``) starts from zero orphans by construction.
     """
 
     num_points: int
@@ -132,6 +141,8 @@ class UpdateReport:
     moved_fraction: float
     rebuilt: bool
     splits: int = 0
+    orphaned: int = 0
+    compacted: int = 0
 
 
 @dataclass
@@ -193,6 +204,12 @@ class RPForestIndex:
     overflow_factor:
         A leaf collecting more than ``leaf_size * overflow_factor`` points
         during updates is lazily rebuilt as a local subtree.
+    compact_frac:
+        Every ``_split_leaf`` orphans one leaf slot; when orphaned slots
+        exceed this fraction of a tree's leaf count the tree is compacted
+        (slots renumbered away).  ``1.0`` disables compaction — orphans can
+        never reach 100% because the root path keeps at least one leaf
+        reachable.
     """
 
     def __init__(
@@ -205,6 +222,7 @@ class RPForestIndex:
         drift_threshold: float = 0.0,
         rebuild_frac: float = 0.5,
         overflow_factor: float = 4.0,
+        compact_frac: float = 0.25,
     ) -> None:
         if num_trees < 1:
             raise ValueError(f"num_trees must be >= 1, got {num_trees}")
@@ -224,6 +242,10 @@ class RPForestIndex:
             raise ValueError(
                 f"overflow_factor must be >= 1, got {overflow_factor}"
             )
+        if not 0.0 < compact_frac <= 1.0:
+            raise ValueError(
+                f"compact_frac must be in (0, 1], got {compact_frac}"
+            )
         self.num_trees = num_trees
         self.leaf_size = leaf_size
         self.probes = probes
@@ -232,6 +254,7 @@ class RPForestIndex:
         self.drift_threshold = drift_threshold
         self.rebuild_frac = rebuild_frac
         self.overflow_factor = overflow_factor
+        self.compact_frac = compact_frac
         self._points: np.ndarray | None = None
         self._norms: np.ndarray | None = None
         self._trees: list[_Tree] = []
@@ -300,7 +323,12 @@ class RPForestIndex:
                 dtype=np.int64,
             ),
             "float_params": np.array(
-                [self.drift_threshold, self.rebuild_frac, self.overflow_factor],
+                [
+                    self.drift_threshold,
+                    self.rebuild_frac,
+                    self.overflow_factor,
+                    self.compact_frac,
+                ],
                 dtype=np.float64,
             ),
             "points": self._points,
@@ -346,6 +374,9 @@ class RPForestIndex:
             drift_threshold=float(floats[0]),
             rebuild_frac=float(floats[1]),
             overflow_factor=float(floats[2]),
+            # Forests serialized before compaction existed carry 3 floats;
+            # restore them with compaction off so behaviour is unchanged.
+            compact_frac=float(floats[3]) if floats.size > 3 else 1.0,
         )
         points = np.array(points_raw, dtype=np.float64, copy=True)
         if points.ndim != 2 or points.shape[0] == 0:
@@ -492,7 +523,10 @@ class RPForestIndex:
         than ``leaf_size * overflow_factor`` points are lazily rebuilt as
         local subtrees.  When the drifted fraction exceeds ``rebuild_frac``
         the whole forest is rebuilt instead (``report.rebuilt``), identical
-        to a fresh :meth:`build` over ``X``.
+        to a fresh :meth:`build` over ``X``.  Each subtree split orphans
+        one leaf slot; a tree whose orphaned slots exceed ``compact_frac``
+        of its leaf count is compacted in place (query results unchanged),
+        and the report carries the remaining/reclaimed slot counts.
 
         Parameters
         ----------
@@ -572,12 +606,22 @@ class RPForestIndex:
             queries = self._points[moved]
             for tree_id, tree in enumerate(self._trees):
                 splits += self._reroute(tree, tree_id, moved, queries)
+        orphaned = 0
+        compacted = 0
+        for tree in self._trees:
+            orphans = int(tree.num_leaves - self._reachable_leaves(tree).sum())
+            if orphans > self.compact_frac * tree.num_leaves:
+                compacted += self._compact_leaves(tree)
+                orphans = 0
+            orphaned += orphans
         return UpdateReport(
             num_points=self.num_points,
             num_moved=int(moved.size),
             moved_fraction=fraction,
             rebuilt=False,
             splits=splits,
+            orphaned=orphaned,
+            compacted=compacted,
         )
 
     def _reroute(
@@ -593,6 +637,7 @@ class RPForestIndex:
         changed = new_leaf != tree.point_leaf[moved]
         if not changed.any():
             return 0
+        old_point_leaf = tree.point_leaf.copy()
         tree.point_leaf[moved[changed]] = new_leaf[changed]
         # Lazy subtree rebuild of overflowing leaves: only leaves that just
         # gained points can newly overflow.
@@ -603,7 +648,7 @@ class RPForestIndex:
             if counts[leaf_id] > overflow:
                 self._split_leaf(tree, tree_id, int(leaf_id))
                 splits += 1
-        self._repack_leaves(tree)
+        self._repack_leaves_delta(tree, old_point_leaf)
         return splits
 
     def _split_leaf(self, tree: _Tree, tree_id: int, leaf_id: int) -> None:
@@ -675,15 +720,88 @@ class RPForestIndex:
         tree.depth = int(levels.max()) + 1
 
     @staticmethod
-    def _repack_leaves(tree: _Tree) -> None:
-        """Rebuild the CSR leaf view from ``point_leaf`` (O(N))."""
-        counts = np.bincount(tree.point_leaf, minlength=tree.num_leaves)
-        order = np.argsort(tree.point_leaf, kind="stable")
-        tree.leaf_items = order.astype(np.int64)
+    def _repack_leaves_delta(tree: _Tree, old_point_leaf: np.ndarray) -> None:
+        """Delta-edit the CSR leaf view after re-routing (no full sort).
+
+        ``tree.point_leaf`` holds the new assignment; ``old_point_leaf`` is
+        the one the standing ``leaf_indptr``/``leaf_items`` packing reflects
+        (``_split_leaf`` already extended ``leaf_indptr`` with empty slots
+        for appended leaves).  Surviving points keep their relative order —
+        their segments shift as a whole — while the ``M`` re-routed points
+        are deleted from their old segment and appended to their new one in
+        ascending-id order.  O(N + M log M) total, replacing the previous
+        full ``argsort(point_leaf)`` repack whose O(N log N) dominated every
+        incremental refresh at the 1M tier.
+        """
+        num_leaves = tree.num_leaves
+        changed = np.flatnonzero(tree.point_leaf != old_point_leaf)
+        old_counts = np.diff(tree.leaf_indptr)
+        removed = np.bincount(old_point_leaf[changed], minlength=num_leaves)
+        added_leaves = tree.point_leaf[changed]
+        added = np.bincount(added_leaves, minlength=num_leaves)
+        kept = old_counts - removed
+        new_counts = kept + added
+        new_indptr = np.concatenate(([0], np.cumsum(new_counts))).astype(np.int64)
+        new_items = np.empty(tree.leaf_items.shape[0], dtype=np.int64)
+        stale = np.zeros(tree.point_leaf.shape[0], dtype=bool)
+        stale[changed] = True
+        kept_items = tree.leaf_items[~stale[tree.leaf_items]]
+        kept_starts = np.concatenate(([0], np.cumsum(kept)))[:-1]
+        within = np.arange(kept_items.size) - np.repeat(kept_starts, kept)
+        new_items[np.repeat(new_indptr[:-1], kept) + within] = kept_items
+        order = np.argsort(added_leaves, kind="stable")
+        grouped = changed[order]
+        add_base = np.concatenate(([0], np.cumsum(added)))
+        leaf_of = added_leaves[order]
+        new_items[
+            new_indptr[leaf_of]
+            + kept[leaf_of]
+            + (np.arange(grouped.size) - add_base[leaf_of])
+        ] = grouped
+        tree.leaf_items = new_items
+        tree.leaf_indptr = new_indptr
+        tree.max_leaf = int(new_counts.max())
+
+    @staticmethod
+    def _reachable_leaves(tree: _Tree) -> np.ndarray:
+        """Boolean mask of leaf slots some root path still reaches.
+
+        Splices only ever replace a *leaf* ref with a subtree root, so every
+        internal node stays reachable and the reachable leaves are exactly
+        the negative refs in ``children`` (plus a single-leaf root).
+        """
+        reachable = np.zeros(tree.num_leaves, dtype=bool)
+        refs = tree.children[tree.children < 0]
+        reachable[-(refs + 1)] = True
+        if tree.root < 0:
+            reachable[-(tree.root + 1)] = True
+        return reachable
+
+    @staticmethod
+    def _compact_leaves(tree: _Tree) -> int:
+        """Renumber away orphaned leaf slots; returns slots reclaimed.
+
+        Orphaned slots are always empty: ``_split_leaf`` reassigns every
+        member of the leaf it orphans, and re-routing can only reach leaves
+        through the split planes.  Dropping their zero-width CSR segments
+        therefore leaves ``leaf_items`` (and every query) untouched — only
+        ids shift.
+        """
+        reachable = RPForestIndex._reachable_leaves(tree)
+        orphans = int(reachable.size - reachable.sum())
+        if orphans == 0:
+            return 0
+        new_id = np.cumsum(reachable) - 1
+        neg = tree.children < 0
+        tree.children[neg] = -(new_id[-(tree.children[neg] + 1)] + 1)
+        if tree.root < 0:
+            tree.root = -(new_id[-(tree.root + 1)] + 1)
+        tree.point_leaf = new_id[tree.point_leaf]
+        counts = np.diff(tree.leaf_indptr)[reachable]
         tree.leaf_indptr = np.concatenate(
             ([0], np.cumsum(counts))
         ).astype(np.int64)
-        tree.max_leaf = int(counts.max())
+        return orphans
 
     # ------------------------------------------------------------------ #
     def _greedy_descent(self, tree: _Tree, Q: np.ndarray, start: np.ndarray) -> np.ndarray:
@@ -928,6 +1046,7 @@ class AnnBackend:
         drift_threshold: float = 0.0,
         rebuild_frac: float = 0.5,
         overflow_factor: float = 4.0,
+        compact_frac: float = 0.25,
     ) -> None:
         if update not in ("rebuild", "incremental"):
             raise ValueError(
@@ -942,6 +1061,7 @@ class AnnBackend:
             drift_threshold=drift_threshold,
             rebuild_frac=rebuild_frac,
             overflow_factor=overflow_factor,
+            compact_frac=compact_frac,
         )
         self.exhaustive = exhaustive
         self.update_mode = update

@@ -35,7 +35,7 @@ from repro.gnnzoo import make_backbone
 from repro.graph import Graph
 from repro.nn import binary_cross_entropy_with_logits
 from repro.optim import Adam
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, dtype_scope, no_grad
 from repro.training import (
     IndexMaintainer,
     MinibatchEngine,
@@ -103,7 +103,17 @@ class FairwosTrainer:
 
     # ------------------------------------------------------------------ #
     def fit(self, graph: Graph, seed: int = 0) -> FairwosResult:
-        """Run Algorithm 1 on ``graph`` and evaluate on its test split."""
+        """Run Algorithm 1 on ``graph`` and evaluate on its test split.
+
+        The whole run executes under the configured ``dtype`` scope, so
+        parameters, activations, gradients and optimiser state share one
+        precision (``float64`` by default; ``float32`` for the
+        memory-bounded large-graph tier).
+        """
+        with dtype_scope(self.config.dtype):
+            return self._fit(graph, seed)
+
+    def _fit(self, graph: Graph, seed: int) -> FairwosResult:
         config = self.config
         rng = np.random.default_rng(seed)
         features = Tensor(graph.features)
@@ -559,7 +569,8 @@ class FairwosTrainer:
         """Logits of the fitted model on ``graph`` (requires ``fit`` first)."""
         if self.classifier is None or self._pseudo_features is None:
             raise RuntimeError("call fit() before predict()")
-        return self._predict_logits(self._pseudo_features, graph.adjacency)
+        with dtype_scope(self.config.dtype):
+            return self._predict_logits(self._pseudo_features, graph.adjacency)
 
     def transform_features(self, features, adjacency) -> np.ndarray:
         """Map a raw feature matrix to the classifier's X(0) input space.
@@ -574,18 +585,19 @@ class FairwosTrainer:
         """
         if self.classifier is None or self._pseudo_stats is None:
             raise RuntimeError("call fit() before transform_features()")
-        features = Tensor(np.asarray(features, dtype=np.float64))
-        if self.config.use_encoder:
-            if self.encoder is None:
-                raise RuntimeError("encoder missing from fitted trainer")
-            raw = self.encoder.extract(features, adjacency)
-        else:
-            raw = features.data.copy()
-        stats = self._pseudo_stats
-        pseudo = (raw - stats["mean"][None, :]) / stats["std"][None, :]
-        if stats["keep"] is not None:
-            pseudo = pseudo[:, stats["keep"]]
-        return pseudo
+        with dtype_scope(self.config.dtype):
+            features = Tensor(features)
+            if self.config.use_encoder:
+                if self.encoder is None:
+                    raise RuntimeError("encoder missing from fitted trainer")
+                raw = self.encoder.extract(features, adjacency)
+            else:
+                raw = features.data.copy()
+            stats = self._pseudo_stats
+            pseudo = (raw - stats["mean"][None, :]) / stats["std"][None, :]
+            if stats["keep"] is not None:
+                pseudo = pseudo[:, stats["keep"]]
+            return pseudo
 
 
 def _snapshot_disparities(

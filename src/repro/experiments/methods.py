@@ -18,6 +18,7 @@ from repro.baselines import FairGKD, KSMOTE, FairRF, RemoveR, Vanilla
 from repro.baselines.base import MethodResult
 from repro.core import FairwosConfig, FairwosTrainer
 from repro.graph import Graph
+from repro.tensor import dtype_scope
 
 __all__ = ["available_methods", "run_method", "FAIRWOS_OVERRIDES", "METHOD_ORDER"]
 
@@ -79,6 +80,7 @@ def run_method(
     cf_refresh_epochs: int | None = None,
     finetune_minibatch: bool | None = None,
     cf_update: str = "rebuild",
+    dtype: str = "float64",
     keep_model: bool = False,
 ) -> MethodResult:
     """Train one method and return its evaluation.
@@ -124,6 +126,12 @@ def run_method(
         ``cf_update="incremental"`` maintains the ANN forest in place
         between refreshes instead of rebuilding it (drift threshold and
         rebuild escape hatch via ``fairwos_config``).
+    dtype:
+        Floating precision of the training stack (``"float64"`` or
+        ``"float32"``).  Fairwos threads it through
+        :attr:`~repro.core.config.FairwosConfig.dtype`; baselines run
+        inside a :func:`repro.tensor.dtype_scope`.  ``"float32"`` halves
+        resident memory on the large-graph tier.
     keep_model:
         Attach the fitted runner (the :class:`~repro.core.FairwosTrainer`
         or baseline instance) to ``result.extra["model"]`` so callers can
@@ -151,7 +159,8 @@ def run_method(
             num_layers=len(fanouts) if fanouts else 1,
         )
         runner = baseline_classes[key](**kwargs)
-        result = runner.fit(graph, seed=seed)
+        with dtype_scope(dtype):
+            result = runner.fit(graph, seed=seed)
         if keep_model:
             result.extra["model"] = runner
         return result
@@ -165,12 +174,13 @@ def run_method(
         or cf_refresh_epochs is not None
         or finetune_minibatch is not None
         or cf_update != "rebuild"
+        or dtype != "float64"
     ):
         raise ValueError(
-            "pass minibatch/counterfactual settings inside fairwos_config "
-            "(minibatch/fanouts/batch_size/cache_epochs/cf_backend/"
-            "cf_refresh_epochs/cf_update fields) when supplying an "
-            "explicit config"
+            "pass minibatch/counterfactual/dtype settings inside "
+            "fairwos_config (minibatch/fanouts/batch_size/cache_epochs/"
+            "cf_backend/cf_refresh_epochs/cf_update/dtype fields) when "
+            "supplying an explicit config"
         )
     if fairwos_config is None:
         overrides = FAIRWOS_OVERRIDES.get(graph.name, FAIRWOS_OVERRIDES["default"])
@@ -189,6 +199,7 @@ def run_method(
             cf_refresh_epochs=cf_refresh_epochs,
             finetune_minibatch=finetune_minibatch,
             cf_update=cf_update,
+            dtype=dtype,
             **overrides,
         )
     start = time.perf_counter()

@@ -17,6 +17,21 @@ import scipy.sparse as sp
 __all__ = ["Graph"]
 
 
+def _as_float_features(features) -> np.ndarray:
+    """Coerce a feature matrix to float without destroying its memory layout.
+
+    Non-float inputs (integer one-hots, booleans) are promoted to float64 as
+    before.  Floating inputs pass through *unchanged*: float32 matrices keep
+    their half-size footprint, and memory-mapped arrays stay memory-mapped —
+    an unconditional ``asarray(..., float64)`` here would silently pull a
+    whole on-disk 1M-node feature matrix into resident memory.
+    """
+    features = np.asarray(features) if not isinstance(features, np.ndarray) else features
+    if not np.issubdtype(features.dtype, np.floating):
+        features = features.astype(np.float64)
+    return features
+
+
 @dataclass
 class Graph:
     """An attributed graph for semi-supervised node classification.
@@ -59,7 +74,7 @@ class Graph:
 
     def __post_init__(self) -> None:
         self.adjacency = sp.csr_matrix(self.adjacency)
-        self.features = np.asarray(self.features, dtype=np.float64)
+        self.features = _as_float_features(self.features)
         self.labels = np.asarray(self.labels, dtype=np.int64)
         self.sensitive = np.asarray(self.sensitive, dtype=np.int64)
         self.train_mask = np.asarray(self.train_mask, dtype=bool)
@@ -143,7 +158,7 @@ class Graph:
         """Return a copy with replaced features (e.g. encoder output X(0))."""
         return replace(
             self,
-            features=np.asarray(features, dtype=np.float64),
+            features=_as_float_features(features),
             related_feature_indices=(
                 np.asarray(related, dtype=np.int64)
                 if related is not None

@@ -2,6 +2,9 @@
 
 * :func:`save_graph` / :func:`load_graph` — single-file ``.npz`` round-trip
   of a :class:`~repro.graph.Graph` (adjacency stored in CSR parts);
+  :func:`save_graph_mmap` writes the same format as an uncompressed
+  directory that ``load_graph(path, mmap=True)`` memory-maps, keeping
+  1M-node adjacency/feature arrays on disk instead of in RAM;
 * :func:`save_state` / :func:`load_state` — model checkpointing via the
   ``Module.state_dict`` mapping (:func:`pack_state` / :func:`unpack_state`
   expose the key scheme for multi-model archives);
@@ -19,12 +22,13 @@ from repro.io.artifact import (
     load_artifact,
     save_artifact,
 )
-from repro.io.graph_io import load_graph, save_graph
+from repro.io.graph_io import load_graph, save_graph, save_graph_mmap
 from repro.io.model_io import load_state, pack_state, save_state, unpack_state
 from repro.io.nx_bridge import from_networkx, to_networkx
 
 __all__ = [
     "save_graph",
+    "save_graph_mmap",
     "load_graph",
     "save_state",
     "load_state",

@@ -41,7 +41,8 @@ def binary_cross_entropy_with_logits(
     """
     logits = as_tensor(logits)
     targets = np.asarray(
-        targets.data if isinstance(targets, Tensor) else targets, dtype=np.float64
+        targets.data if isinstance(targets, Tensor) else targets,
+        dtype=logits.data.dtype,
     )
     # loss = max(z, 0) - z*y + log(1 + exp(-|z|))
     zero = Tensor(np.zeros_like(logits.data))
@@ -50,7 +51,7 @@ def binary_cross_entropy_with_logits(
     softplus_part = ops.log(ops.add(1.0, ops.exp(ops.neg(ops.absolute(logits)))))
     per_element = ops.add(ops.sub(relu_part, linear_part), softplus_part)
     if weights is not None:
-        w = np.asarray(weights, dtype=np.float64)
+        w = np.asarray(weights, dtype=logits.data.dtype)
         weighted = ops.mul(per_element, Tensor(w))
         return ops.div(ops.sum(weighted), float(w.sum()))
     return ops.mean(per_element)

@@ -17,6 +17,12 @@ The public entry point is :class:`Tensor`; free functions mirror the method
 API for a functional style.
 """
 
+from repro.tensor.dtype import (
+    dtype_scope,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
 from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled
 from repro.tensor.ops import (
     add,
@@ -47,6 +53,10 @@ __all__ = [
     "Tensor",
     "no_grad",
     "is_grad_enabled",
+    "dtype_scope",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
     "add",
     "concat",
     "exp",

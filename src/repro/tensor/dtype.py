@@ -1,0 +1,98 @@
+"""Process-wide default floating dtype for the autodiff engine.
+
+Every :class:`~repro.tensor.tensor.Tensor` coerces its payload to the
+*default dtype* registered here.  Historically that was hard-wired to
+``float64`` — the right oracle for finite-difference gradient checks, but
+twice the memory the 1M-node tier can afford.  The registry makes the
+precision a run-time choice:
+
+* ``float64`` (the default) keeps every existing code path bit-identical;
+* ``float32`` halves the resident weight/activation footprint, with the
+  float64 path kept as the parity oracle in the test-suite.
+
+Only the two IEEE float widths are accepted: integer or half dtypes would
+silently break the gradient math, so :func:`resolve_dtype` rejects them.
+
+The intended entry point is :func:`dtype_scope` — trainers wrap model
+construction *and* every forward/backward in one scope so parameters,
+activations and optimiser state agree::
+
+    with dtype_scope("float32"):
+        model = GCN(...)
+        trainer.fit(...)
+
+Ops that materialise fresh arrays from non-Tensor inputs (dropout masks,
+loss targets) consult :func:`get_default_dtype`; ops transforming existing
+tensors derive their dtype from their inputs so mixed scopes degrade
+predictably (numpy promotion rules) instead of surprisingly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "SUPPORTED_DTYPES",
+    "dtype_scope",
+    "get_default_dtype",
+    "resolve_dtype",
+    "set_default_dtype",
+]
+
+SUPPORTED_DTYPES = ("float32", "float64")
+
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def resolve_dtype(dtype) -> np.dtype:
+    """Normalise ``dtype`` to ``np.dtype`` and validate it is a supported float.
+
+    Accepts the strings ``"float32"``/``"float64"``, the numpy scalar types,
+    or ``np.dtype`` instances.  Anything else (including integer and float16
+    dtypes) raises ``ValueError``.
+    """
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:  # e.g. dtype=3.5
+        raise ValueError(f"not a dtype: {dtype!r}") from exc
+    if resolved.name not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported dtype {resolved.name!r}; expected one of {SUPPORTED_DTYPES}"
+        )
+    return resolved
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype new tensors coerce to (``float64`` unless overridden)."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the process-wide default dtype; returns the previous default.
+
+    Prefer :func:`dtype_scope` — an unbalanced global switch leaks into
+    unrelated code (and tests).  This function exists as the primitive the
+    scope is built on, and for long-lived worker processes that configure
+    precision once at startup.
+    """
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(dtype)
+    return previous
+
+
+@contextlib.contextmanager
+def dtype_scope(dtype) -> Iterator[np.dtype]:
+    """Context manager temporarily switching the default dtype.
+
+    Restores the previous default on exit even when the body raises, so a
+    failing float32 fit cannot poison subsequent float64 runs.
+    """
+    previous = set_default_dtype(dtype)
+    try:
+        yield _DEFAULT_DTYPE
+    finally:
+        set_default_dtype(previous)

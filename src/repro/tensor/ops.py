@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.tensor.dtype import get_default_dtype
 from repro.tensor.tensor import Tensor, as_tensor, unbroadcast
 
 __all__ = [
@@ -154,6 +155,11 @@ def spmm(matrix: sp.spmatrix, dense) -> Tensor:
     """
     dense = as_tensor(dense)
     matrix = matrix.tocsr()
+    if matrix.dtype != dense.data.dtype:
+        # Block/adjacency matrices are float64 constants; casting them to the
+        # operand dtype keeps float32 activations float32 instead of silently
+        # upcasting every message-passing product.
+        matrix = matrix.astype(dense.data.dtype)
     out = matrix @ dense.data
 
     def backward(grad):
@@ -418,13 +424,13 @@ def _scatter_rows(indices: np.ndarray, grad: np.ndarray, out_shape) -> np.ndarra
     """
     flat_idx = indices.reshape(-1)
     if flat_idx.size < _SCATTER_SPMM_THRESHOLD:
-        full = np.zeros(out_shape)
+        full = np.zeros(out_shape, dtype=grad.dtype)
         np.add.at(full, indices, grad)
         return full
     flat_grad = np.ascontiguousarray(grad).reshape(flat_idx.size, -1)
     selection = sp.csr_matrix(
         (
-            np.ones(flat_idx.size),
+            np.ones(flat_idx.size, dtype=grad.dtype),
             flat_idx,
             np.arange(flat_idx.size + 1),
         ),
@@ -460,7 +466,7 @@ def scatter_add(a, row_indices, num_rows: int) -> Tensor:
     a = as_tensor(a)
     row_indices = np.asarray(row_indices, dtype=np.int64)
     out_shape = (num_rows,) + a.shape[1:]
-    out = np.zeros(out_shape, dtype=np.float64)
+    out = np.zeros(out_shape, dtype=a.data.dtype)
     np.add.at(out, row_indices, a.data)
 
     def backward(grad):
@@ -546,4 +552,4 @@ def dropout_mask(shape: tuple[int, ...], rate: float, rng: np.random.Generator) 
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
-    return (rng.random(shape) < keep).astype(np.float64) / keep
+    return (rng.random(shape) < keep).astype(get_default_dtype()) / keep

@@ -7,8 +7,10 @@ closure computing the local vector-Jacobian product.  Calling
 graph and accumulates gradients into every reachable tensor that has
 ``requires_grad=True``.
 
-All data is stored as ``numpy.ndarray`` of ``float64``; this keeps the
-finite-difference gradient checks in the test-suite tight.
+All data is stored as ``numpy.ndarray`` of the process default dtype (see
+:mod:`repro.tensor.dtype`) — ``float64`` unless a trainer opted into a
+``float32`` scope; float64 keeps the finite-difference gradient checks in
+the test-suite tight.
 """
 
 from __future__ import annotations
@@ -17,6 +19,8 @@ import contextlib
 from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
+
+from repro.tensor.dtype import get_default_dtype
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
@@ -41,12 +45,13 @@ def is_grad_enabled() -> bool:
 
 
 def _as_array(value) -> np.ndarray:
-    """Coerce python scalars / lists / arrays to a float64 ndarray."""
+    """Coerce python scalars / lists / arrays to the default-dtype ndarray."""
+    dtype = get_default_dtype()
     if isinstance(value, np.ndarray):
-        if value.dtype != np.float64:
-            return value.astype(np.float64)
+        if value.dtype != dtype:
+            return value.astype(dtype)
         return value
-    return np.asarray(value, dtype=np.float64)
+    return np.asarray(value, dtype=dtype)
 
 
 def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -74,7 +79,8 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64``.
+        Array-like payload; converted to the default dtype
+        (:func:`repro.tensor.dtype.get_default_dtype`).
     requires_grad:
         If True, gradients are accumulated into :attr:`grad` during
         :meth:`backward`.

@@ -57,7 +57,7 @@ from repro.fairness.metrics import accuracy
 from repro.graph.sampling import Block, EpochBlockCache, NeighborSampler
 from repro.nn.module import Module
 from repro.optim import Adam
-from repro.tensor import Tensor, no_grad
+from repro.tensor import Tensor, get_default_dtype, no_grad
 from repro.training.loop import FitHistory
 
 __all__ = [
@@ -90,10 +90,20 @@ def iter_minibatches(
 
 
 def _as_feature_array(features) -> np.ndarray:
-    """Accept a numpy array or constant Tensor of node features."""
+    """Accept a numpy array or constant Tensor of node features.
+
+    Floating arrays pass through untouched — crucially this keeps
+    memory-mapped float32 feature matrices on disk instead of materialising
+    an in-RAM float64 copy; each batch's gathered rows are cast to the
+    active default dtype when wrapped in a :class:`Tensor`.  Non-float
+    inputs (e.g. integer one-hots) are promoted to float64 once.
+    """
     if isinstance(features, Tensor):
         return features.data
-    return np.asarray(features, dtype=np.float64)
+    features = np.asarray(features)
+    if not np.issubdtype(features.dtype, np.floating):
+        features = features.astype(np.float64)
+    return features
 
 
 def _resolve_num_layers(model: Module, num_layers: int | None) -> int:
@@ -156,7 +166,7 @@ def predict_logits_batched(
         # full-neighbourhood default never consumes the generator.
         rng = np.random.default_rng()
 
-    logits = np.empty(nodes.size, dtype=np.float64)
+    logits = np.empty(nodes.size, dtype=get_default_dtype())
     was_training = model.training
     model.eval()
     with no_grad():
@@ -188,7 +198,7 @@ def embed_batched(
     computation graph is live.  Used by the sampled fine-tune phase to
     refresh the counterfactual index without a full-graph forward pass.
 
-    Returns an ``(len(nodes), hidden)`` float64 array.
+    Returns an ``(len(nodes), hidden)`` array in the active default dtype.
     """
     feature_array = _as_feature_array(features)
     if sampler is None:
@@ -218,7 +228,7 @@ def embed_batched(
             batch_features = Tensor(feature_array[blocks[0].src_nodes])
             h = model.embed_blocks(batch_features, blocks).data
             if out is None:
-                out = np.empty((nodes.size, h.shape[1]), dtype=np.float64)
+                out = np.empty((nodes.size, h.shape[1]), dtype=h.dtype)
             out[filled : filled + batch.size] = h
             filled += batch.size
     model.train(was_training)

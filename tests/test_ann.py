@@ -118,6 +118,32 @@ class TestMasking:
             assert (row[len(found):] == -1).all()
 
 
+class TestDuplicateDistanceTies:
+    def test_full_sort_branch_breaks_ties_by_candidate_position(self):
+        """k >= num candidates takes the full-sort branch; duplicate
+        distances must resolve by candidate order, like every other path."""
+        X = np.array([[0.0], [1.0], [-1.0], [2.0], [-2.0]])
+        query = np.zeros((1, 1))
+        out = exact_topk(X, query, np.arange(5), k=5)
+        np.testing.assert_array_equal(out[0], [0, 1, 2, 3, 4])
+        # A custom candidate order is the tie-break, not ascending id.
+        out = exact_topk(X, query, np.array([2, 1, 4, 3]), k=4)
+        np.testing.assert_array_equal(out[0], [2, 1, 4, 3])
+
+    def test_many_duplicate_distances_stay_deterministic(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(8, 3))
+        X = np.repeat(base, 16, axis=0)  # 16 exact copies of each point
+        queries = X[:10]
+        first = exact_topk(X, queries, np.arange(X.shape[0]), k=X.shape[0])
+        for _ in range(3):
+            np.testing.assert_array_equal(
+                first, exact_topk(X, queries, np.arange(X.shape[0]), k=X.shape[0])
+            )
+        # Equal-distance blocks list candidates in ascending id order.
+        assert (np.diff(first[:, :16].astype(np.int64)) > 0).all()
+
+
 class TestDeterminism:
     @settings(deadline=None)
     @given(seed=st.integers(0, 10_000), build_seed=st.integers(0, 100))
@@ -359,6 +385,107 @@ class TestIncrementalUpdate:
         assert total_splits > 0
         for tree in index._trees:
             assert tree.depth == reference_depth(tree)
+
+    def test_orphan_slots_are_reported_and_compaction_is_invisible(self):
+        """Every subtree split orphans one leaf slot; the report must expose
+        the standing count, and compacting the slots away must not change a
+        single query."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(400, 4))
+        index = RPForestIndex(
+            num_trees=3, leaf_size=8, probes=2, seed=0,
+            overflow_factor=2.0, compact_frac=1.0,  # compaction disabled
+        ).build(X)
+        total_splits = 0
+        report = None
+        for round_id in range(3):
+            X = X.copy()
+            lo = 50 + 100 * round_id
+            X[lo : lo + 80] = X[round_id] + 0.01 * rng.normal(size=(80, 4))
+            report = index.update(X, rebuild_frac=1.0)
+            total_splits += report.splits
+        assert total_splits > 0
+        # One orphaned slot per split, none reclaimed (compaction disabled).
+        assert report.orphaned == total_splits and report.compacted == 0
+        before_multi = index.query(X[:64], 5)
+        before_exh = index.query(X[:64], 5, probes=EXHAUSTIVE)
+        reclaimed = sum(
+            RPForestIndex._compact_leaves(tree) for tree in index._trees
+        )
+        assert reclaimed == total_splits
+        for tree in index._trees:
+            reachable = RPForestIndex._reachable_leaves(tree)
+            assert reachable.all()  # no orphans left
+            assert np.diff(tree.leaf_indptr).sum() == 400
+        np.testing.assert_array_equal(index.query(X[:64], 5), before_multi)
+        np.testing.assert_array_equal(
+            index.query(X[:64], 5, probes=EXHAUSTIVE), before_exh
+        )
+        # Post-compaction, the oracle paths still match a fresh build().
+        fresh = RPForestIndex(
+            num_trees=3, leaf_size=8, probes=2, seed=0,
+            overflow_factor=2.0,
+        ).build(X)
+        np.testing.assert_array_equal(
+            index.query(X[:64], 5, probes=EXHAUSTIVE),
+            fresh.query(X[:64], 5, probes=EXHAUSTIVE),
+        )
+
+    def test_compact_frac_triggers_compaction_in_update(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(400, 4))
+        make = lambda: RPForestIndex(  # noqa: E731
+            num_trees=3, leaf_size=8, probes=2, seed=0,
+            overflow_factor=2.0, compact_frac=0.01,
+        ).build(X)
+        a, b = make(), make()
+        total_splits = 0
+        total_compacted = 0
+        ra = None
+        for round_id in range(3):
+            X = X.copy()
+            lo = 50 + 100 * round_id
+            X[lo : lo + 80] = X[round_id] + 0.01 * rng.normal(size=(80, 4))
+            ra = a.update(X, rebuild_frac=1.0)
+            rb = b.update(X, rebuild_frac=1.0)
+            assert (ra.splits, ra.orphaned, ra.compacted) == (
+                rb.splits, rb.orphaned, rb.compacted
+            )
+            total_splits += ra.splits
+            total_compacted += ra.compacted
+        assert total_splits > 0 and total_compacted > 0
+        # Slot conservation: every split's orphan is either still standing
+        # (reported) or was reclaimed by some round's compaction.
+        assert ra.orphaned == total_splits - total_compacted
+        # Compaction is part of the deterministic update contract.
+        np.testing.assert_array_equal(a.query(X[:32], 5), b.query(X[:32], 5))
+        np.testing.assert_array_equal(
+            a.query(X[:32], 5, probes=EXHAUSTIVE),
+            exact_topk(X, X[:32], np.arange(400), 5),
+        )
+
+    def test_rebuild_escape_hatch_reports_zero_orphans(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(150, 4))
+        index = RPForestIndex(**FOREST, seed=9, rebuild_frac=0.1).build(X)
+        report = index.update(X + 1.0)
+        assert report.rebuilt
+        assert report.orphaned == 0 and report.compacted == 0
+
+    def test_compact_frac_validation_and_round_trip(self):
+        with pytest.raises(ValueError, match="compact_frac"):
+            RPForestIndex(compact_frac=0.0)
+        with pytest.raises(ValueError, match="compact_frac"):
+            RPForestIndex(compact_frac=1.5)
+        X = np.random.default_rng(0).normal(size=(60, 3))
+        index = RPForestIndex(**FOREST, seed=0, compact_frac=0.5).build(X)
+        restored = RPForestIndex.from_arrays(index.to_arrays())
+        assert restored.compact_frac == 0.5
+        # Pre-compaction serializations carried 3 floats: compaction off.
+        arrays = index.to_arrays()
+        arrays["float_params"] = arrays["float_params"][:3]
+        legacy = RPForestIndex.from_arrays(arrays)
+        assert legacy.compact_frac == 1.0
 
     def test_explicit_moved_conflicts_with_threshold(self):
         index = RPForestIndex(**FOREST, seed=0).build(

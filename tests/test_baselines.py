@@ -130,6 +130,77 @@ class TestKSMOTE:
         # Symmetry preserved.
         assert (extended != extended.T).nnz == 0
 
+    @staticmethod
+    def _extend_adjacency_reference(adjacency, parents):
+        """The pre-append-only implementation: full (N+S)² COO round-trip.
+
+        Kept verbatim as the parity oracle for the block-stacked rewrite."""
+        import scipy.sparse as sp
+
+        parents = np.asarray(parents, dtype=np.int64)
+        num_real = adjacency.shape[0]
+        num_total = num_real + parents.size
+        new_ids = num_real + np.arange(parents.size, dtype=np.int64)
+        degrees = np.diff(adjacency.indptr)[parents]
+        total = int(degrees.sum())
+        row_starts = np.concatenate(([0], np.cumsum(degrees)))[:-1]
+        within = np.arange(total) - np.repeat(row_starts, degrees)
+        neighbors = adjacency.indices[
+            np.repeat(adjacency.indptr[parents], degrees) + within
+        ]
+        synth_of_edge = np.repeat(new_ids, degrees)
+        rows = np.concatenate([synth_of_edge, neighbors, new_ids, parents])
+        cols = np.concatenate([neighbors, synth_of_edge, parents, new_ids])
+        coo = sp.coo_matrix(adjacency)
+        all_rows = np.concatenate([coo.row, rows])
+        all_cols = np.concatenate([coo.col, cols])
+        data = np.ones(all_rows.size)
+        out = sp.csr_matrix(
+            (data, (all_rows, all_cols)), shape=(num_total, num_total)
+        )
+        out.sum_duplicates()
+        out.data = np.ones_like(out.data)
+        return out
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_extend_adjacency_bit_identical_to_coo_round_trip(self, seed):
+        """The append-only block stacking must reproduce the old full COO
+        reconstruction exactly: same indptr, same indices, same data."""
+        import scipy.sparse as sp
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(20, 80))
+        density = rng.uniform(0.02, 0.15)
+        upper = sp.random(n, n, density=density, random_state=int(seed), format="coo")
+        sym = upper + upper.T  # symmetric, arbitrary float data
+        adjacency = sp.csr_matrix(sym)
+        if seed % 2:  # self-loops exercise the duplicate (parent, synth) edge
+            adjacency = sp.csr_matrix(adjacency + sp.eye(n, format="csr"))
+        parents = rng.integers(0, n, size=int(rng.integers(1, 30)))
+        fast = KSMOTE._extend_adjacency(adjacency, parents)
+        slow = self._extend_adjacency_reference(adjacency, parents)
+        assert fast.shape == slow.shape
+        np.testing.assert_array_equal(fast.indptr, slow.indptr)
+        np.testing.assert_array_equal(fast.indices, slow.indices)
+        np.testing.assert_array_equal(fast.data, slow.data)
+        assert fast.data.dtype == slow.data.dtype
+
+    def test_extend_adjacency_duplicate_parents(self):
+        """Two synthetic nodes sharing one parent stay distinct rows."""
+        import scipy.sparse as sp
+
+        adjacency = sp.csr_matrix(
+            np.array(
+                [[0, 1, 1, 0], [1, 0, 0, 1], [1, 0, 0, 0], [0, 1, 0, 0]],
+                dtype=np.float64,
+            )
+        )
+        fast = KSMOTE._extend_adjacency(adjacency, [2, 2])
+        slow = self._extend_adjacency_reference(adjacency, [2, 2])
+        np.testing.assert_array_equal(fast.indptr, slow.indptr)
+        np.testing.assert_array_equal(fast.indices, slow.indices)
+        np.testing.assert_array_equal(fast.data, slow.data)
+
 
 class TestFairRF:
     def test_requires_related_indices(self, small_graph):

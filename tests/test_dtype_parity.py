@@ -1,0 +1,224 @@
+"""float32-vs-float64 parity for the dtype-configurable training stack.
+
+The float64 path is the oracle: running inside ``dtype_scope("float64")``
+must be *bit-identical* to the historical hard-wired behaviour.  The
+float32 path trades precision for half the resident memory, so its outputs
+must stay within a bounded divergence of the oracle — every test here pins
+that contract for the pieces the 1M-node tier relies on: the four GNN
+backbones, the fused fair loss, batched inference and the full Fairwos
+trainer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import FairwosConfig, FairwosTrainer
+from repro.core.counterfactual import CounterfactualSearch
+from repro.core.fairloss import fair_representation_loss
+from repro.gnnzoo import make_backbone
+from repro.nn import binary_cross_entropy_with_logits
+from repro.optim import Adam
+from repro.tensor import (
+    Tensor,
+    dtype_scope,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
+from repro.training import predict_logits, predict_logits_batched
+
+BACKBONES = ["gcn", "gin", "gat", "sage"]
+
+
+def _ring_graph(n: int = 40, f: int = 6, seed: int = 0):
+    """Small fixed graph: ring adjacency + gaussian features + labels."""
+    rng = np.random.default_rng(seed)
+    rows = np.arange(n)
+    cols = (rows + 1) % n
+    adjacency = sp.csr_matrix(
+        (np.ones(2 * n), (np.concatenate([rows, cols]), np.concatenate([cols, rows]))),
+        shape=(n, n),
+    )
+    features = rng.normal(size=(n, f))
+    labels = (features[:, 0] + 0.3 * rng.normal(size=n) > 0).astype(np.int64)
+    return adjacency, features, labels
+
+
+def _train_steps(backbone: str, dtype: str, steps: int = 5) -> np.ndarray:
+    """A short full-batch fit under ``dtype``; returns the final logits.
+
+    The model init consumes an identically-seeded generator in both
+    precisions, so the float32 run starts from the float64 weights cast
+    down — any divergence is purely accumulated rounding.
+    """
+    adjacency, features, labels = _ring_graph()
+    with dtype_scope(dtype):
+        model = make_backbone(backbone, features.shape[1], 8, np.random.default_rng(3))
+        optimizer = Adam(model.parameters(), lr=0.05)
+        x = Tensor(features)
+        targets = labels.astype(np.float64)
+        for _ in range(steps):
+            optimizer.zero_grad()
+            logits = model(x, adjacency)
+            loss = binary_cross_entropy_with_logits(logits, targets)
+            loss.backward()
+            optimizer.step()
+        return predict_logits(model, x, adjacency)
+
+
+class TestDtypeRegistry:
+    def test_default_is_float64(self):
+        assert get_default_dtype() == np.float64
+
+    @pytest.mark.parametrize("bad", ["float16", "int64", np.int32, "half", object])
+    def test_rejects_non_float_dtypes(self, bad):
+        with pytest.raises(ValueError):
+            resolve_dtype(bad)
+
+    def test_scope_sets_and_restores(self):
+        with dtype_scope("float32") as active:
+            assert active == np.float32
+            assert get_default_dtype() == np.float32
+            assert Tensor(np.zeros(3)).data.dtype == np.float32
+        assert get_default_dtype() == np.float64
+        assert Tensor(np.zeros(3)).data.dtype == np.float64
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with dtype_scope("float32"):
+                raise RuntimeError("boom")
+        assert get_default_dtype() == np.float64
+
+    def test_set_default_returns_previous(self):
+        previous = set_default_dtype("float32")
+        try:
+            assert previous == np.float64
+            assert get_default_dtype() == np.float32
+        finally:
+            set_default_dtype(previous)
+
+    def test_nested_scopes(self):
+        with dtype_scope("float32"):
+            with dtype_scope("float64"):
+                assert get_default_dtype() == np.float64
+            assert get_default_dtype() == np.float32
+
+
+@pytest.mark.parametrize("backbone", BACKBONES)
+class TestBackboneParity:
+    def test_float64_scope_bit_identical(self, backbone):
+        """An explicit float64 scope is a no-op vs the historical default."""
+        plain = _train_steps(backbone, "float64")
+        scoped = _train_steps(backbone, "float64")
+        np.testing.assert_array_equal(plain, scoped)
+
+    def test_float32_bounded_divergence(self, backbone):
+        """float32 training tracks the float64 oracle to ~1e-2 over 5 steps."""
+        ref = _train_steps(backbone, "float64")
+        low = _train_steps(backbone, "float32")
+        assert low.dtype == np.float32
+        np.testing.assert_allclose(low, ref, atol=2e-2, rtol=2e-2)
+
+    def test_float32_parameters_are_float32(self, backbone):
+        with dtype_scope("float32"):
+            model = make_backbone(backbone, 6, 8, np.random.default_rng(0))
+        for param in model.parameters():
+            assert param.data.dtype == np.float32
+
+
+class TestFusedFairLossParity:
+    def _loss(self, dtype: str):
+        rng = np.random.default_rng(11)
+        n, d, attrs = 60, 8, 3
+        reps = rng.normal(size=(n, d))
+        labels = rng.integers(0, 2, size=n)
+        binary = rng.integers(0, 2, size=(n, attrs))
+        weights = rng.dirichlet(np.ones(attrs))
+        index = CounterfactualSearch(top_k=4).search(reps, labels, binary)
+        with dtype_scope(dtype):
+            loss, disparities = fair_representation_loss(
+                Tensor(reps), index, weights
+            )
+        return float(loss.data), disparities
+
+    def test_float64_scope_bit_identical(self):
+        ref_loss, ref_disp = self._loss("float64")
+        scoped_loss, scoped_disp = self._loss("float64")
+        assert ref_loss == scoped_loss
+        np.testing.assert_array_equal(ref_disp, scoped_disp)
+
+    def test_float32_bounded_divergence(self):
+        ref_loss, ref_disp = self._loss("float64")
+        low_loss, low_disp = self._loss("float32")
+        assert low_loss == pytest.approx(ref_loss, rel=1e-4, abs=1e-4)
+        np.testing.assert_allclose(low_disp, ref_disp, atol=1e-4, rtol=1e-3)
+
+
+class TestBatchedInferenceParity:
+    def _logits(self, dtype: str, batch_size: int):
+        adjacency, features, _ = _ring_graph(n=50)
+        with dtype_scope(dtype):
+            model = make_backbone("gcn", features.shape[1], 8, np.random.default_rng(5))
+            return predict_logits_batched(
+                model, features, adjacency, batch_size=batch_size
+            )
+
+    def test_float64_scope_bit_identical(self):
+        np.testing.assert_array_equal(
+            self._logits("float64", 16), self._logits("float64", 16)
+        )
+
+    def test_float32_bounded_divergence(self):
+        ref = self._logits("float64", 16)
+        low = self._logits("float32", 16)
+        assert low.dtype == np.float32
+        np.testing.assert_allclose(low, ref, atol=1e-4, rtol=1e-3)
+
+    def test_float32_batch_size_invariant(self):
+        """Batching must not change float32 results beyond summation noise."""
+        np.testing.assert_allclose(
+            self._logits("float32", 7), self._logits("float32", 50), atol=1e-5
+        )
+
+
+class TestTrainerParity:
+    FAST = dict(
+        encoder_epochs=20,
+        classifier_epochs=20,
+        finetune_epochs=3,
+        patience=5,
+        alpha=1.0,
+        top_k=3,
+    )
+
+    def test_float64_dtype_config_bit_identical(self, small_graph):
+        """dtype='float64' must reproduce the implicit-default run exactly."""
+        ref = FairwosTrainer(FairwosConfig(**self.FAST)).fit(small_graph, seed=0)
+        explicit = FairwosTrainer(
+            FairwosConfig(dtype="float64", **self.FAST)
+        ).fit(small_graph, seed=0)
+        assert ref.test.accuracy == explicit.test.accuracy
+        assert ref.test.delta_sp == explicit.test.delta_sp
+        np.testing.assert_array_equal(ref.lambda_weights, explicit.lambda_weights)
+
+    def test_float32_trainer_close_to_oracle(self, small_graph):
+        ref = FairwosTrainer(FairwosConfig(**self.FAST)).fit(small_graph, seed=0)
+        low = FairwosTrainer(
+            FairwosConfig(dtype="float32", **self.FAST)
+        ).fit(small_graph, seed=0)
+        assert low.pseudo_attributes.dtype == np.float32
+        assert abs(low.test.accuracy - ref.test.accuracy) <= 0.08
+        assert abs(low.test.delta_sp - ref.test.delta_sp) <= 0.15
+
+    def test_float32_leaves_global_default_untouched(self, small_graph):
+        FairwosTrainer(
+            FairwosConfig(dtype="float32", **self.FAST)
+        ).fit(small_graph, seed=1)
+        assert get_default_dtype() == np.float64
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            FairwosConfig(dtype="float16").validate()

@@ -44,6 +44,74 @@ def random_adjacency(num_nodes: int, density: float, seed: int) -> sp.csr_matrix
     return sp.csr_matrix(dense + dense.T)
 
 
+class _LexsortSampler(NeighborSampler):
+    """Reference sampler: the pre-counting-sort full-lexsort selection.
+
+    Kept verbatim as the parity oracle — both implementations consume the
+    same ``rng.random(total)`` draw, so for any shared rng stream the
+    bucketed two-pass selection must keep the identical edge set."""
+
+    def _select_edges(self, dst, fanout, rng):
+        starts = self._indptr[dst]
+        counts = self._degrees[dst]
+        if self.replace and fanout is not None:
+            return super()._select_edges(dst, fanout, rng)
+        total = int(counts.sum())
+        rows = np.repeat(np.arange(dst.size), counts)
+        row_starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+        within = np.arange(total) - np.repeat(row_starts, counts)
+        neighbors = self._indices[np.repeat(starts, counts) + within]
+        if fanout is None or total == 0:
+            return rows, neighbors
+        keys = rng.random(total)
+        order = np.lexsort((keys, rows))
+        keep = order[within < fanout]
+        return rows[keep], neighbors[keep]
+
+
+class TestCountingSortSelectionParity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2000),
+        fanout=st.integers(1, 8),
+        num_layers=st.integers(1, 3),
+    )
+    def test_blocks_bit_identical_to_lexsort(self, seed, fanout, num_layers):
+        adjacency = random_adjacency(60, 0.05 + 0.3 * (seed % 4) / 3, seed % 7)
+        fanouts = (fanout,) * num_layers
+        fast = NeighborSampler(adjacency, fanouts=fanouts)
+        slow = _LexsortSampler(adjacency, fanouts=fanouts)
+        seeds = np.random.default_rng(seed).choice(60, size=12, replace=False)
+        blocks_fast = fast.sample_blocks(seeds, np.random.default_rng(seed))
+        blocks_slow = slow.sample_blocks(seeds, np.random.default_rng(seed))
+        assert len(blocks_fast) == len(blocks_slow)
+        for a, b in zip(blocks_fast, blocks_slow):
+            np.testing.assert_array_equal(a.src_nodes, b.src_nodes)
+            np.testing.assert_array_equal(a.dst_nodes, b.dst_nodes)
+            np.testing.assert_array_equal(a.adjacency.indptr, b.adjacency.indptr)
+            np.testing.assert_array_equal(a.adjacency.indices, b.adjacency.indices)
+            np.testing.assert_array_equal(a.adjacency.data, b.adjacency.data)
+
+    def test_hub_graph_parity(self):
+        """Skewed degrees exercise the threshold-bucket path hard: one hub
+        adjacent to everything, plus a sparse background."""
+        n = 300
+        rng = np.random.default_rng(0)
+        dense = (rng.random((n, n)) < 0.02).astype(float)
+        dense[0, 1:] = 1.0  # hub row
+        dense = np.triu(dense, 1)
+        adjacency = sp.csr_matrix(dense + dense.T)
+        for fanout in (1, 3, 7, 50, 299):
+            fast = NeighborSampler(adjacency, fanouts=(fanout,))
+            slow = _LexsortSampler(adjacency, fanouts=(fanout,))
+            seeds = np.arange(0, n, 3)
+            (a,) = fast.sample_blocks(seeds, np.random.default_rng(fanout))
+            (b,) = slow.sample_blocks(seeds, np.random.default_rng(fanout))
+            np.testing.assert_array_equal(a.src_nodes, b.src_nodes)
+            np.testing.assert_array_equal(a.adjacency.indptr, b.adjacency.indptr)
+            np.testing.assert_array_equal(a.adjacency.indices, b.adjacency.indices)
+
+
 # --------------------------------------------------------------------- #
 # Block / NeighborSampler properties
 # --------------------------------------------------------------------- #
