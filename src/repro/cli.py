@@ -153,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
         "resident memory on large graphs; float64 is the exact baseline)",
     )
     run_parser.add_argument(
+        "--backend",
+        default="numpy",
+        help="array backend of the training stack (numpy is the exact "
+        "baseline; torch requires PyTorch to be importable)",
+    )
+    run_parser.add_argument(
         "--save",
         default=None,
         metavar="DIR",
@@ -328,6 +334,7 @@ def _cmd_run(args) -> str:
         cf_refresh_epochs=args.cf_refresh,
         cf_update=args.cf_update,
         dtype=args.dtype,
+        backend=args.backend,
         keep_model=args.save is not None,
     )
     mode = ""
@@ -347,6 +354,8 @@ def _cmd_run(args) -> str:
             mode += f" cf-update={args.cf_update}"
     if args.dtype != "float64":
         mode += f", dtype={args.dtype}"
+    if args.backend != "numpy":
+        mode += f", backend={args.backend}"
     output = (
         f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}"
         f"{mode}):\n  {result.test}\n  trained in {result.seconds:.1f}s"

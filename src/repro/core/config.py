@@ -82,6 +82,15 @@ class FairwosConfig:
     the cost of bounded numerical divergence from the float64 oracle.  The
     trainer applies it via :func:`repro.tensor.dtype_scope` around every
     phase, so concurrent float64 work outside the fit is unaffected.
+
+    ``backend`` selects the array library the tensor stack executes on.
+    The default ``"numpy"`` is the historical bit-identical CPU path;
+    ``"torch"`` routes dense math through PyTorch when it is importable
+    (activation fails with ``BackendUnavailableError`` otherwise).  The
+    trainer applies it via :func:`repro.tensor.backend_scope` around
+    every phase, exactly like ``dtype``.  Validation only checks the
+    name is registered — the library itself is imported lazily at fit
+    time, so configs naming an uninstalled backend remain constructible.
     """
 
     backbone: str = "gcn"
@@ -120,12 +129,15 @@ class FairwosConfig:
     cf_drift_threshold: float = 1e-2
     cf_rebuild_frac: float = 0.5
     dtype: str = "float64"
+    backend: str = "numpy"
 
     def validate(self) -> None:
         """Raise ``ValueError`` for inconsistent settings."""
+        from repro.tensor.backend import resolve_backend
         from repro.tensor.dtype import resolve_dtype
 
         resolve_dtype(self.dtype)  # raises on anything but float32/float64
+        resolve_backend(self.backend)  # raises on unregistered names
         if self.hidden_dim < 1 or self.encoder_dim < 1:
             raise ValueError("hidden_dim and encoder_dim must be positive")
         if self.alpha < 0:

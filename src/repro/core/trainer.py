@@ -35,7 +35,7 @@ from repro.gnnzoo import make_backbone
 from repro.graph import Graph
 from repro.nn import binary_cross_entropy_with_logits
 from repro.optim import Adam
-from repro.tensor import Tensor, dtype_scope, no_grad
+from repro.tensor import Tensor, backend_scope, dtype_scope, no_grad
 from repro.training import (
     IndexMaintainer,
     MinibatchEngine,
@@ -110,8 +110,9 @@ class FairwosTrainer:
         precision (``float64`` by default; ``float32`` for the
         memory-bounded large-graph tier).
         """
-        with dtype_scope(self.config.dtype):
-            return self._fit(graph, seed)
+        with backend_scope(self.config.backend):
+            with dtype_scope(self.config.dtype):
+                return self._fit(graph, seed)
 
     def _fit(self, graph: Graph, seed: int) -> FairwosResult:
         config = self.config
@@ -569,8 +570,11 @@ class FairwosTrainer:
         """Logits of the fitted model on ``graph`` (requires ``fit`` first)."""
         if self.classifier is None or self._pseudo_features is None:
             raise RuntimeError("call fit() before predict()")
-        with dtype_scope(self.config.dtype):
-            return self._predict_logits(self._pseudo_features, graph.adjacency)
+        with backend_scope(self.config.backend):
+            with dtype_scope(self.config.dtype):
+                return self._predict_logits(
+                    self._pseudo_features, graph.adjacency
+                )
 
     def transform_features(self, features, adjacency) -> np.ndarray:
         """Map a raw feature matrix to the classifier's X(0) input space.
@@ -585,7 +589,7 @@ class FairwosTrainer:
         """
         if self.classifier is None or self._pseudo_stats is None:
             raise RuntimeError("call fit() before transform_features()")
-        with dtype_scope(self.config.dtype):
+        with backend_scope(self.config.backend), dtype_scope(self.config.dtype):
             features = Tensor(features)
             if self.config.use_encoder:
                 if self.encoder is None:

@@ -18,7 +18,7 @@ from repro.baselines import FairGKD, KSMOTE, FairRF, RemoveR, Vanilla
 from repro.baselines.base import MethodResult
 from repro.core import FairwosConfig, FairwosTrainer
 from repro.graph import Graph
-from repro.tensor import dtype_scope
+from repro.tensor import backend_scope, dtype_scope
 
 __all__ = ["available_methods", "run_method", "FAIRWOS_OVERRIDES", "METHOD_ORDER"]
 
@@ -81,6 +81,7 @@ def run_method(
     finetune_minibatch: bool | None = None,
     cf_update: str = "rebuild",
     dtype: str = "float64",
+    backend: str = "numpy",
     keep_model: bool = False,
 ) -> MethodResult:
     """Train one method and return its evaluation.
@@ -132,6 +133,11 @@ def run_method(
         :attr:`~repro.core.config.FairwosConfig.dtype`; baselines run
         inside a :func:`repro.tensor.dtype_scope`.  ``"float32"`` halves
         resident memory on the large-graph tier.
+    backend:
+        Array backend of the training stack (``"numpy"`` default;
+        ``"torch"`` when PyTorch is importable).  Fairwos threads it
+        through :attr:`~repro.core.config.FairwosConfig.backend`;
+        baselines run inside a :func:`repro.tensor.backend_scope`.
     keep_model:
         Attach the fitted runner (the :class:`~repro.core.FairwosTrainer`
         or baseline instance) to ``result.extra["model"]`` so callers can
@@ -159,7 +165,7 @@ def run_method(
             num_layers=len(fanouts) if fanouts else 1,
         )
         runner = baseline_classes[key](**kwargs)
-        with dtype_scope(dtype):
+        with backend_scope(backend), dtype_scope(dtype):
             result = runner.fit(graph, seed=seed)
         if keep_model:
             result.extra["model"] = runner
@@ -175,12 +181,13 @@ def run_method(
         or finetune_minibatch is not None
         or cf_update != "rebuild"
         or dtype != "float64"
+        or backend != "numpy"
     ):
         raise ValueError(
-            "pass minibatch/counterfactual/dtype settings inside "
+            "pass minibatch/counterfactual/dtype/backend settings inside "
             "fairwos_config (minibatch/fanouts/batch_size/cache_epochs/"
-            "cf_backend/cf_refresh_epochs/cf_update/dtype fields) when "
-            "supplying an explicit config"
+            "cf_backend/cf_refresh_epochs/cf_update/dtype/backend fields) "
+            "when supplying an explicit config"
         )
     if fairwos_config is None:
         overrides = FAIRWOS_OVERRIDES.get(graph.name, FAIRWOS_OVERRIDES["default"])
@@ -200,6 +207,7 @@ def run_method(
             finetune_minibatch=finetune_minibatch,
             cf_update=cf_update,
             dtype=dtype,
+            backend=backend,
             **overrides,
         )
     start = time.perf_counter()

@@ -1,9 +1,17 @@
 """Differentiable operations for :class:`repro.tensor.Tensor`.
 
 Every function takes tensors (or array-likes, which are promoted to constant
-tensors), computes the forward value with numpy, and registers a closure that
-maps the output gradient to per-parent gradients.  Broadcasting ops reduce
-gradients back to parent shapes with :func:`repro.tensor.tensor.unbroadcast`.
+tensors), computes the forward value against the *active backend*'s array
+namespace (:func:`repro.tensor.backend.get_backend` — numpy by default, in
+which case ``xp`` below is literally the ``numpy`` module and every call is
+bit-identical to the historical direct-numpy engine), and registers a closure
+that maps the output gradient to per-parent gradients.  Broadcasting ops
+reduce gradients back to parent shapes with
+:func:`repro.tensor.tensor.unbroadcast`.
+
+Index bookkeeping (axis permutations, concat offsets, integer index arrays)
+stays host-side numpy on every backend; only the floating-point math routes
+through the seam.
 
 The sparse-dense product :func:`spmm` accepts a *constant* ``scipy.sparse``
 matrix on the left (graph adjacency matrices never require gradients in this
@@ -15,6 +23,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.tensor.backend import _SCATTER_SPMM_THRESHOLD, get_backend
 from repro.tensor.dtype import get_default_dtype
 from repro.tensor.tensor import Tensor, as_tensor, unbroadcast
 
@@ -135,12 +144,15 @@ def matmul(a, b) -> Tensor:
     out = a.data @ b.data
 
     def backward(grad):
+        backend = get_backend()
         if b.data.ndim == 1:
-            grad_a = np.outer(grad, b.data) if a.data.ndim == 2 else grad * b.data
-            grad_b = a.data.T @ grad
+            grad_a = (
+                backend.xp.outer(grad, b.data) if a.data.ndim == 2 else grad * b.data
+            )
+            grad_b = backend.transpose(a.data) @ grad
         else:
-            grad_a = grad @ b.data.T
-            grad_b = a.data.T @ grad
+            grad_a = grad @ backend.transpose(b.data)
+            grad_b = backend.transpose(a.data) @ grad
         return grad_a, grad_b
 
     return Tensor.from_op(out, (a, b), backward)
@@ -154,16 +166,11 @@ def spmm(matrix: sp.spmatrix, dense) -> Tensor:
     normalised adjacencies, but we do not assume symmetry).
     """
     dense = as_tensor(dense)
-    matrix = matrix.tocsr()
-    if matrix.dtype != dense.data.dtype:
-        # Block/adjacency matrices are float64 constants; casting them to the
-        # operand dtype keeps float32 activations float32 instead of silently
-        # upcasting every message-passing product.
-        matrix = matrix.astype(dense.data.dtype)
-    out = matrix @ dense.data
+    backend = get_backend()
+    out, cast_matrix = backend.spmm(matrix, dense.data)
 
     def backward(grad):
-        return (matrix.T @ grad,)
+        return (backend.spmm_adjoint(cast_matrix, grad),)
 
     return Tensor.from_op(out, (dense,), backward)
 
@@ -186,8 +193,14 @@ def relu(a) -> Tensor:
 def leaky_relu(a, negative_slope: float = 0.2) -> Tensor:
     """Leaky ReLU with the given slope for negative inputs."""
     a = as_tensor(a)
+    backend = get_backend()
     mask = a.data > 0
-    scale = np.where(mask, 1.0, negative_slope)
+    # Cast the gate to the input dtype: xp.where on python scalars yields
+    # float64, which would silently upcast a float32 graph.
+    scale = backend.asarray(
+        backend.xp.where(mask, 1.0, negative_slope),
+        dtype=backend.np_dtype(a.data),
+    )
     out = a.data * scale
 
     def backward(grad):
@@ -199,8 +212,9 @@ def leaky_relu(a, negative_slope: float = 0.2) -> Tensor:
 def sigmoid(a) -> Tensor:
     """Numerically stable logistic sigmoid."""
     a = as_tensor(a)
+    xp = get_backend().xp
     x = a.data
-    out = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))), np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
+    out = xp.where(x >= 0, 1.0 / (1.0 + xp.exp(-xp.abs(x))), xp.exp(-xp.abs(x)) / (1.0 + xp.exp(-xp.abs(x))))
 
     def backward(grad):
         return (grad * out * (1.0 - out),)
@@ -211,7 +225,7 @@ def sigmoid(a) -> Tensor:
 def tanh(a) -> Tensor:
     """Hyperbolic tangent."""
     a = as_tensor(a)
-    out = np.tanh(a.data)
+    out = get_backend().xp.tanh(a.data)
 
     def backward(grad):
         return (grad * (1.0 - out**2),)
@@ -222,7 +236,7 @@ def tanh(a) -> Tensor:
 def exp(a) -> Tensor:
     """Elementwise exponential."""
     a = as_tensor(a)
-    out = np.exp(a.data)
+    out = get_backend().xp.exp(a.data)
 
     def backward(grad):
         return (grad * out,)
@@ -233,7 +247,7 @@ def exp(a) -> Tensor:
 def log(a) -> Tensor:
     """Elementwise natural logarithm."""
     a = as_tensor(a)
-    out = np.log(a.data)
+    out = get_backend().xp.log(a.data)
 
     def backward(grad):
         return (grad / a.data,)
@@ -244,7 +258,7 @@ def log(a) -> Tensor:
 def sqrt(a) -> Tensor:
     """Elementwise square root."""
     a = as_tensor(a)
-    out = np.sqrt(a.data)
+    out = get_backend().xp.sqrt(a.data)
 
     def backward(grad):
         return (grad * 0.5 / out,)
@@ -255,10 +269,11 @@ def sqrt(a) -> Tensor:
 def absolute(a) -> Tensor:
     """Elementwise absolute value (subgradient 0 at 0)."""
     a = as_tensor(a)
-    out = np.abs(a.data)
+    xp = get_backend().xp
+    out = xp.abs(a.data)
 
     def backward(grad):
-        return (grad * np.sign(a.data),)
+        return (grad * xp.sign(a.data),)
 
     return Tensor.from_op(out, (a,), backward)
 
@@ -267,7 +282,7 @@ def maximum(a, b) -> Tensor:
     """Elementwise maximum; ties send the gradient to the first argument."""
     a, b = as_tensor(a), as_tensor(b)
     take_a = a.data >= b.data
-    out = np.where(take_a, a.data, b.data)
+    out = get_backend().xp.where(take_a, a.data, b.data)
 
     def backward(grad):
         return (
@@ -278,11 +293,12 @@ def maximum(a, b) -> Tensor:
     return Tensor.from_op(out, (a, b), backward)
 
 
-def where(condition: np.ndarray, a, b) -> Tensor:
+def where(condition, a, b) -> Tensor:
     """Select ``a`` where ``condition`` else ``b``; condition is constant."""
     a, b = as_tensor(a), as_tensor(b)
-    condition = np.asarray(condition, dtype=bool)
-    out = np.where(condition, a.data, b.data)
+    xp = get_backend().xp
+    condition = xp.asarray(condition, dtype=bool)
+    out = xp.where(condition, a.data, b.data)
 
     def backward(grad):
         return (
@@ -305,11 +321,12 @@ def squared_distance(a, b) -> Tensor:
     unbroadcast to each operand's shape.
     """
     a, b = as_tensor(a), as_tensor(b)
+    xp = get_backend().xp
     diff = a.data - b.data
-    out = (diff**2).sum(axis=-1)
+    out = xp.sum(diff**2, axis=-1)
 
     def backward(grad):
-        g = 2.0 * np.expand_dims(np.asarray(grad), -1) * diff
+        g = 2.0 * xp.expand_dims(xp.asarray(grad), -1) * diff
         return unbroadcast(g, a.shape), unbroadcast(-g, b.shape)
 
     return Tensor.from_op(out, (a, b), backward)
@@ -321,14 +338,15 @@ def squared_distance(a, b) -> Tensor:
 def sum(a, axis=None, keepdims: bool = False) -> Tensor:
     """Sum over ``axis`` (all axes when None)."""
     a = as_tensor(a)
-    out = a.data.sum(axis=axis, keepdims=keepdims)
+    xp = get_backend().xp
+    out = xp.sum(a.data, axis=axis, keepdims=keepdims)
 
     def backward(grad):
-        g = np.asarray(grad)
+        g = xp.asarray(grad)
         if axis is not None and not keepdims:
             axes = axis if isinstance(axis, tuple) else (axis,)
-            g = np.expand_dims(g, tuple(ax % a.data.ndim for ax in axes))
-        return (np.broadcast_to(g, a.shape).copy(),)
+            g = xp.expand_dims(g, tuple(ax % a.data.ndim for ax in axes))
+        return (get_backend().copy(xp.broadcast_to(g, a.shape)),)
 
     return Tensor.from_op(out, (a,), backward)
 
@@ -336,19 +354,20 @@ def sum(a, axis=None, keepdims: bool = False) -> Tensor:
 def mean(a, axis=None, keepdims: bool = False) -> Tensor:
     """Arithmetic mean over ``axis`` (all axes when None)."""
     a = as_tensor(a)
-    out = a.data.mean(axis=axis, keepdims=keepdims)
+    xp = get_backend().xp
+    out = xp.mean(a.data, axis=axis, keepdims=keepdims)
     if axis is None:
-        count = a.data.size
+        count = a.size
     else:
         axes = axis if isinstance(axis, tuple) else (axis,)
         count = int(np.prod([a.data.shape[ax] for ax in axes]))
 
     def backward(grad):
-        g = np.asarray(grad) / count
+        g = xp.asarray(grad) / count
         if axis is not None and not keepdims:
             axes = axis if isinstance(axis, tuple) else (axis,)
-            g = np.expand_dims(g, tuple(ax % a.data.ndim for ax in axes))
-        return (np.broadcast_to(g, a.shape).copy(),)
+            g = xp.expand_dims(g, tuple(ax % a.data.ndim for ax in axes))
+        return (get_backend().copy(xp.broadcast_to(g, a.shape)),)
 
     return Tensor.from_op(out, (a,), backward)
 
@@ -370,7 +389,7 @@ def reshape(a, shape: tuple[int, ...]) -> Tensor:
 def expand_dims(a, axis) -> Tensor:
     """Insert length-1 axes (``np.expand_dims``); the gradient is squeezed back."""
     a = as_tensor(a)
-    out = np.expand_dims(a.data, axis)
+    out = get_backend().xp.expand_dims(a.data, axis)
 
     def backward(grad):
         return (grad.reshape(a.shape),)
@@ -381,13 +400,14 @@ def expand_dims(a, axis) -> Tensor:
 def transpose(a, axes: tuple[int, ...] | None = None) -> Tensor:
     """Permute axes (reverse when ``axes`` is None)."""
     a = as_tensor(a)
-    out = a.data.transpose(axes)
+    backend = get_backend()
+    out = backend.transpose(a.data, axes)
 
     def backward(grad):
         if axes is None:
-            return (grad.transpose(),)
+            return (backend.transpose(grad),)
         inverse = np.argsort(axes)
-        return (grad.transpose(inverse),)
+        return (backend.transpose(grad, inverse),)
 
     return Tensor.from_op(out, (a,), backward)
 
@@ -402,41 +422,24 @@ def index(a, idx) -> Tensor:
     out = a.data[idx]
 
     def backward(grad):
-        full = np.zeros_like(a.data)
-        np.add.at(full, idx, grad)
+        backend = get_backend()
+        full = backend.xp.zeros_like(a.data)
+        backend.index_add(full, idx, grad)
         return (full,)
 
     return Tensor.from_op(out, (a,), backward)
 
 
-# Above this many gathered rows the scatter adjoint routes through a sparse
-# matmul (one CSR selection matrix transposed against the gradient), which is
-# ~8x faster than ``np.add.at``'s unbuffered loop; below it the construction
-# overhead is not worth it.
-_SCATTER_SPMM_THRESHOLD = 4096
-
-
-def _scatter_rows(indices: np.ndarray, grad: np.ndarray, out_shape) -> np.ndarray:
+def _scatter_rows(indices: np.ndarray, grad, out_shape):
     """Sum gradient rows into their source rows (the adjoint of a row gather).
 
     ``indices`` has any shape; ``grad`` has shape ``indices.shape + rest``.
-    Large scatters use ``Sᵀ @ grad`` with a constant CSR selection matrix.
+    Large scatters use ``Sᵀ @ grad`` with a constant CSR selection matrix
+    (see :data:`repro.tensor.backend._SCATTER_SPMM_THRESHOLD`); the routing
+    lives on the backend so alternative array libraries can use their native
+    ``index_add``.
     """
-    flat_idx = indices.reshape(-1)
-    if flat_idx.size < _SCATTER_SPMM_THRESHOLD:
-        full = np.zeros(out_shape, dtype=grad.dtype)
-        np.add.at(full, indices, grad)
-        return full
-    flat_grad = np.ascontiguousarray(grad).reshape(flat_idx.size, -1)
-    selection = sp.csr_matrix(
-        (
-            np.ones(flat_idx.size, dtype=grad.dtype),
-            flat_idx,
-            np.arange(flat_idx.size + 1),
-        ),
-        shape=(flat_idx.size, out_shape[0]),
-    )
-    return (selection.T @ flat_grad).reshape(out_shape)
+    return get_backend().scatter_rows(indices, grad, out_shape)
 
 
 def gather(a, row_indices) -> Tensor:
@@ -452,7 +455,7 @@ def gather(a, row_indices) -> Tensor:
     out = a.data[row_indices]
 
     def backward(grad):
-        return (_scatter_rows(row_indices, grad, a.shape),)
+        return (get_backend().scatter_rows(row_indices, grad, a.shape),)
 
     return Tensor.from_op(out, (a,), backward)
 
@@ -464,10 +467,11 @@ def scatter_add(a, row_indices, num_rows: int) -> Tensor:
     Used for edge-to-node aggregation in attention layers.
     """
     a = as_tensor(a)
+    backend = get_backend()
     row_indices = np.asarray(row_indices, dtype=np.int64)
     out_shape = (num_rows,) + a.shape[1:]
-    out = np.zeros(out_shape, dtype=a.data.dtype)
-    np.add.at(out, row_indices, a.data)
+    out = backend.xp.zeros(out_shape, dtype=a.data.dtype)
+    backend.index_add(out, row_indices, a.data)
 
     def backward(grad):
         return (grad[row_indices],)
@@ -478,7 +482,7 @@ def scatter_add(a, row_indices, num_rows: int) -> Tensor:
 def concat(tensors, axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis``."""
     tensors = [as_tensor(t) for t in tensors]
-    out = np.concatenate([t.data for t in tensors], axis=axis)
+    out = get_backend().xp.concatenate([t.data for t in tensors], axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -499,19 +503,20 @@ def concat(tensors, axis: int = 0) -> Tensor:
 def logsumexp(a, axis: int = -1, keepdims: bool = False) -> Tensor:
     """Stable ``log(sum(exp(a)))`` along ``axis``."""
     a = as_tensor(a)
+    xp = get_backend().xp
     x = a.data
-    xmax = x.max(axis=axis, keepdims=True)
-    shifted = np.exp(x - xmax)
-    total = shifted.sum(axis=axis, keepdims=True)
-    out = np.log(total) + xmax
+    xmax = xp.max(x, axis=axis, keepdims=True)
+    shifted = xp.exp(x - xmax)
+    total = xp.sum(shifted, axis=axis, keepdims=True)
+    out = xp.log(total) + xmax
     softmax_vals = shifted / total
     if not keepdims:
-        out = np.squeeze(out, axis=axis)
+        out = xp.squeeze(out, axis=axis)
 
     def backward(grad):
-        g = np.asarray(grad)
+        g = xp.asarray(grad)
         if not keepdims:
-            g = np.expand_dims(g, axis)
+            g = xp.expand_dims(g, axis)
         return (g * softmax_vals,)
 
     return Tensor.from_op(out, (a,), backward)
@@ -520,12 +525,13 @@ def logsumexp(a, axis: int = -1, keepdims: bool = False) -> Tensor:
 def softmax(a, axis: int = -1) -> Tensor:
     """Stable softmax along ``axis``."""
     a = as_tensor(a)
+    xp = get_backend().xp
     x = a.data
-    shifted = np.exp(x - x.max(axis=axis, keepdims=True))
-    out = shifted / shifted.sum(axis=axis, keepdims=True)
+    shifted = xp.exp(x - xp.max(x, axis=axis, keepdims=True))
+    out = shifted / xp.sum(shifted, axis=axis, keepdims=True)
 
     def backward(grad):
-        inner = (grad * out).sum(axis=axis, keepdims=True)
+        inner = xp.sum(grad * out, axis=axis, keepdims=True)
         return (out * (grad - inner),)
 
     return Tensor.from_op(out, (a,), backward)
@@ -534,22 +540,28 @@ def softmax(a, axis: int = -1) -> Tensor:
 def log_softmax(a, axis: int = -1) -> Tensor:
     """Stable log-softmax along ``axis``."""
     a = as_tensor(a)
+    xp = get_backend().xp
     x = a.data
-    xmax = x.max(axis=axis, keepdims=True)
+    xmax = xp.max(x, axis=axis, keepdims=True)
     shifted = x - xmax
-    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    lse = xp.log(xp.sum(xp.exp(shifted), axis=axis, keepdims=True))
     out = shifted - lse
-    softmax_vals = np.exp(out)
+    softmax_vals = xp.exp(out)
 
     def backward(grad):
-        return (grad - softmax_vals * grad.sum(axis=axis, keepdims=True),)
+        return (grad - softmax_vals * xp.sum(grad, axis=axis, keepdims=True),)
 
     return Tensor.from_op(out, (a,), backward)
 
 
-def dropout_mask(shape: tuple[int, ...], rate: float, rng: np.random.Generator) -> np.ndarray:
-    """Sample an inverted-dropout mask (scaled keep mask) as a constant array."""
+def dropout_mask(shape: tuple[int, ...], rate: float, rng: np.random.Generator):
+    """Sample an inverted-dropout mask (scaled keep mask) as a constant array.
+
+    The mask is sampled host-side (numpy RNG, so seeded runs reproduce across
+    backends) and handed to the active backend.
+    """
     if not 0.0 <= rate < 1.0:
         raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
     keep = 1.0 - rate
-    return (rng.random(shape) < keep).astype(get_default_dtype()) / keep
+    mask = (rng.random(shape) < keep).astype(get_default_dtype()) / keep
+    return get_backend().asarray(mask)

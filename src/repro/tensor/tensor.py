@@ -7,10 +7,12 @@ closure computing the local vector-Jacobian product.  Calling
 graph and accumulates gradients into every reachable tensor that has
 ``requires_grad=True``.
 
-All data is stored as ``numpy.ndarray`` of the process default dtype (see
-:mod:`repro.tensor.dtype`) — ``float64`` unless a trainer opted into a
-``float32`` scope; float64 keeps the finite-difference gradient checks in
-the test-suite tight.
+Data lives in arrays of the *active backend* (see
+:mod:`repro.tensor.backend`) — ``numpy.ndarray`` unless a run opted into an
+alternative array library — coerced at construction to the process default
+dtype (see :mod:`repro.tensor.dtype`); ``float64`` unless a trainer opted
+into a ``float32`` scope; float64 keeps the finite-difference gradient
+checks in the test-suite tight.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.tensor.backend import get_backend
 from repro.tensor.dtype import get_default_dtype
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
@@ -44,17 +47,12 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _as_array(value) -> np.ndarray:
-    """Coerce python scalars / lists / arrays to the default-dtype ndarray."""
-    dtype = get_default_dtype()
-    if isinstance(value, np.ndarray):
-        if value.dtype != dtype:
-            return value.astype(dtype)
-        return value
-    return np.asarray(value, dtype=dtype)
+def _as_array(value):
+    """Coerce python scalars / lists / arrays to a default-dtype backend array."""
+    return get_backend().asarray(value, dtype=get_default_dtype())
 
 
-def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+def unbroadcast(grad, shape: tuple[int, ...]):
     """Reduce ``grad`` so its shape matches ``shape`` after broadcasting.
 
     numpy broadcasting either prepends axes or stretches size-1 axes; the
@@ -62,14 +60,15 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """
     if grad.shape == shape:
         return grad
+    xp = get_backend().xp
     # Sum over prepended axes.
     extra = grad.ndim - len(shape)
     if extra > 0:
-        grad = grad.sum(axis=tuple(range(extra)))
+        grad = xp.sum(grad, axis=tuple(range(extra)))
     # Sum over stretched size-1 axes.
     axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
     if axes:
-        grad = grad.sum(axis=axes, keepdims=True)
+        grad = xp.sum(grad, axis=axes, keepdims=True)
     return grad.reshape(shape)
 
 
@@ -123,18 +122,49 @@ class Tensor:
         """Tensor of ones with the given shape."""
         return Tensor(np.ones(shape), requires_grad=requires_grad)
 
+    @classmethod
+    def _wrap(
+        cls,
+        data,
+        requires_grad: bool = False,
+        parents: Sequence["Tensor"] = (),
+        backward_fn: Callable[[np.ndarray], tuple] | None = None,
+    ) -> "Tensor":
+        """Wrap an existing backend array *without* the default-dtype recast.
+
+        ``__init__`` deliberately coerces to :func:`get_default_dtype` so
+        user-facing construction is predictable; internal paths that already
+        hold a correctly-typed array (op outputs, ``detach``/``copy``) must
+        not re-coerce, or a float32 model handled outside its training
+        ``dtype_scope`` would silently upcast to float64.
+        """
+        obj = cls.__new__(cls)
+        obj.data = data
+        obj.requires_grad = bool(requires_grad)
+        obj.grad = None
+        obj._parents = tuple(parents)
+        obj._backward_fn = backward_fn
+        obj.name = None
+        return obj
+
     @staticmethod
     def from_op(
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward_fn: Callable[[np.ndarray], tuple],
     ) -> "Tensor":
-        """Build the result tensor of an op, respecting the no_grad context."""
+        """Build the result tensor of an op, respecting the no_grad context.
+
+        The op output keeps its own dtype (ops derive dtypes from their
+        inputs); only scalar outputs of reductions are normalised from numpy
+        scalars to 0-d arrays.
+        """
+        data = get_backend().asarray(data)
         if _GRAD_ENABLED and any(p.requires_grad for p in parents):
-            return Tensor(
+            return Tensor._wrap(
                 data, requires_grad=True, parents=parents, backward_fn=backward_fn
             )
-        return Tensor(data)
+        return Tensor._wrap(data)
 
     # ------------------------------------------------------------------ #
     # basic introspection
@@ -152,7 +182,7 @@ class Tensor:
     @property
     def size(self) -> int:
         """Total number of elements."""
-        return self.data.size
+        return int(np.prod(self.data.shape, dtype=np.int64))
 
     @property
     def T(self) -> "Tensor":
@@ -172,16 +202,29 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        """Return the value of a single-element tensor as a python float."""
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        """Return the value of a single-element tensor as a python float.
+
+        Raises ``ValueError`` on multi-element tensors (numpy's conversion
+        ``TypeError`` buried the actual mistake — calling ``item()`` on a
+        batch).
+        """
+        if self.size != 1:
+            raise ValueError(
+                f"item() requires a single-element tensor, got shape {self.shape}"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
-        """Return a new tensor sharing data but cut from the graph."""
-        return Tensor(self.data)
+        """Return a new tensor sharing data but cut from the graph.
+
+        The source dtype is preserved: detaching a float32 model outside its
+        training ``dtype_scope`` must not upcast it to float64.
+        """
+        return Tensor._wrap(self.data)
 
     def copy(self) -> "Tensor":
-        """Return a graph-detached deep copy."""
-        return Tensor(self.data.copy())
+        """Return a graph-detached deep copy (dtype preserved, see detach)."""
+        return Tensor._wrap(get_backend().copy(self.data))
 
     # ------------------------------------------------------------------ #
     # autodiff driver
@@ -199,16 +242,19 @@ class Tensor:
             Seed gradient.  Defaults to 1.0, which requires this tensor to be
             a scalar.
         """
+        backend = get_backend()
         if grad is None:
-            if self.data.size != 1:
+            if self.size != 1:
                 raise ValueError(
                     "backward() without an explicit gradient requires a scalar "
                     f"output, got shape {self.shape}"
                 )
-            grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+            grad = backend.xp.ones_like(self.data)
+        # Seed in the *output's* dtype, not the scope default: a float32
+        # graph differentiated outside its dtype_scope must stay float32.
+        grad = backend.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).copy()
+            grad = backend.copy(backend.xp.broadcast_to(grad, self.data.shape))
 
         order = self._topological_order()
         grads: dict[int, np.ndarray] = {id(self): grad}
@@ -219,7 +265,7 @@ class Tensor:
             if node.requires_grad and node._backward_fn is None:
                 # Leaf tensor: accumulate.
                 if node.grad is None:
-                    node.grad = node_grad.copy()
+                    node.grad = backend.copy(node_grad)
                 else:
                     node.grad = node.grad + node_grad
                 continue
@@ -234,9 +280,8 @@ class Tensor:
                     grads[key] = grads[key] + pgrad
                 else:
                     grads[key] = pgrad
-            # Interior nodes may also want .grad (e.g. for inspection).
-            if node.requires_grad and node._parents:
-                pass
+            # Deliberately leaf-only: interior nodes never populate .grad
+            # (there is no retain_grad); pinned by the test-suite.
 
     def _topological_order(self) -> list["Tensor"]:
         """Return nodes reachable from self in reverse topological order."""
