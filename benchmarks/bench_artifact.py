@@ -28,6 +28,7 @@ from pathlib import Path
 import numpy as np
 from conftest import bench_scale, record_json, record_output
 
+from repro.core import ExecutionConfig
 from repro.datasets import generate_scale_free_graph
 from repro.experiments.methods import run_method
 from repro.io import load_artifact, save_artifact
@@ -45,10 +46,12 @@ def test_artifact_roundtrip(benchmark):
         graph,
         epochs=SCALE.epochs,
         finetune_epochs=max(2, SCALE.epochs // 10),
-        minibatch=True,
-        fanouts=(10, 5),
-        batch_size=1024,
-        cf_backend="ann",
+        execution=ExecutionConfig(
+            minibatch=True,
+            fanouts=(10, 5),
+            batch_size=1024,
+            cf_backend="ann",
+        ),
         keep_model=True,
     )
     train_seconds = time.perf_counter() - train_start

@@ -1,0 +1,154 @@
+"""Parallel sampler benchmark: epoch block production, serial vs pooled.
+
+Measures the part the worker pool actually parallelises — assembling
+neighbour-sampled blocks for every batch of an epoch — on a scale-free
+graph.  The serial side calls ``NeighborSampler.sample_blocks``; the
+parallel side replays the exact same generator through the draw/select
+split (``draw_edge_keys`` on the trainer side, ``sample_blocks_with_keys``
+in the workers), so both sides do identical sampling work and the blocks
+are bit-identical.  What changes is only *where* the block assembly runs.
+
+At quick scale (50k nodes, 4 workers) the pooled epoch is asserted to be
+at least 1.5x faster than the serial one — but only when the machine
+actually has ``NUM_WORKERS`` cores to run them on (``sched_getaffinity``);
+on smaller runners the processes time-slice one another and the bench
+records the numbers without asserting.  Smoke scale only checks structure
+(tiny graphs are dominated by pool round-trips).  Wall-times go to
+``BENCH_parallel_sampler.json`` for the CI regression gate.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+from conftest import bench_scale_name, record_json, record_output
+
+from repro.datasets import generate_scale_free_graph
+from repro.graph.sampling import NeighborSampler
+from repro.training import WorkerPool
+
+SCALE_NAME = bench_scale_name()
+NODES = {"smoke": 5_000, "quick": 50_000, "paper": 200_000, "full": 200_000}[
+    SCALE_NAME
+]
+NUM_WORKERS = 4
+# Degree >> fanout so the workers' share (per-row selection over all
+# candidate edges, O(degree) per row) dominates the fixed cost of shipping
+# the selected block (O(fanout) per row) back through the result queue.
+AVERAGE_DEGREE = 30
+FANOUTS = (10,)
+BATCH_SIZE = 2048
+EPOCHS = 3
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _epoch_batches(num_nodes: int, rng: np.random.Generator) -> list:
+    order = rng.permutation(num_nodes)
+    return [
+        order[start : start + BATCH_SIZE]
+        for start in range(0, num_nodes, BATCH_SIZE)
+    ]
+
+
+def _serial_epoch(sampler, batches, rng) -> list:
+    return [sampler.sample_blocks(seeds, rng) for seeds in batches]
+
+
+def _pooled_epoch(sampler, pool, batches, rng) -> list:
+    # Trainer side: consume the generator exactly as sample_blocks would
+    # (cheap — O(edges) random keys).  Pool side: the expensive block
+    # assembly, fanned across workers in one load-balanced run_jobs call.
+    tasks = []
+    for seeds in batches:
+        dst = np.asarray(seeds, dtype=np.int64)
+        keys = sampler.draw_edge_keys(dst, sampler.fanouts[0], rng)
+        tasks.append(
+            ("blocks", dst, sampler.fanouts, sampler.replace, [keys])
+        )
+    return pool.run_jobs(tasks)
+
+
+def test_parallel_sampler_speedup(benchmark):
+    graph = generate_scale_free_graph(
+        NODES, num_features=8, average_degree=AVERAGE_DEGREE, seed=0
+    )
+    sampler = NeighborSampler(graph.adjacency, FANOUTS)
+    batches = _epoch_batches(graph.num_nodes, np.random.default_rng(7))
+
+    def run_both():
+        serial_rng = np.random.default_rng(3)
+        start = time.perf_counter()
+        for _ in range(EPOCHS):
+            serial_blocks = _serial_epoch(sampler, batches, serial_rng)
+        serial_seconds = (time.perf_counter() - start) / EPOCHS
+
+        pooled_rng = np.random.default_rng(3)
+        with WorkerPool(NUM_WORKERS, adjacency=graph.adjacency) as pool:
+            # Warm the pool (fork + shared-memory attach) off the clock.
+            _pooled_epoch(
+                sampler, pool, batches[:2], np.random.default_rng(0)
+            )
+            start = time.perf_counter()
+            for _ in range(EPOCHS):
+                pooled_blocks = _pooled_epoch(
+                    sampler, pool, batches, pooled_rng
+                )
+            pooled_seconds = (time.perf_counter() - start) / EPOCHS
+
+        # Same generator, same draws: last epochs must agree bit-for-bit.
+        assert (
+            serial_rng.bit_generator.state == pooled_rng.bit_generator.state
+        )
+        for serial_chain, pooled_chain in zip(serial_blocks, pooled_blocks):
+            for a, b in zip(serial_chain, pooled_chain):
+                assert np.array_equal(a.src_nodes, b.src_nodes)
+                assert np.array_equal(
+                    a.adjacency.indices, b.adjacency.indices
+                )
+        return serial_seconds, pooled_seconds
+
+    serial_seconds, pooled_seconds = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    speedup = serial_seconds / pooled_seconds
+    cores = _available_cores()
+    assert_speedup = SCALE_NAME != "smoke" and cores >= NUM_WORKERS
+    record_output(
+        "parallel_sampler",
+        "\n".join(
+            [
+                f"parallel sampler ({NODES:,} nodes, fanout {FANOUTS[0]}, "
+                f"{len(batches)} batches/epoch, {NUM_WORKERS} workers, "
+                f"{cores} cores)",
+                f"  serial epoch  {serial_seconds:8.3f} s",
+                f"  pooled epoch  {pooled_seconds:8.3f} s",
+                f"  speedup       {speedup:8.2f}x"
+                + ("" if assert_speedup else "  (not asserted)"),
+            ]
+        ),
+    )
+    record_json(
+        "parallel_sampler",
+        {
+            "nodes": NODES,
+            "num_workers": NUM_WORKERS,
+            "cores": cores,
+            "serial_epoch_seconds": round(serial_seconds, 4),
+            "pooled_epoch_seconds": round(pooled_seconds, 4),
+            "speedup": round(speedup, 3),
+        },
+    )
+    if assert_speedup:
+        assert speedup >= 1.5, (
+            f"pooled epoch only {speedup:.2f}x faster than serial "
+            f"(serial {serial_seconds:.3f}s, pooled {pooled_seconds:.3f}s)"
+        )

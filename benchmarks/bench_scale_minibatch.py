@@ -37,7 +37,7 @@ import numpy as np
 import pytest
 from conftest import bench_scale, bench_scale_name, record_json, record_output
 
-from repro.core import FairwosConfig, FairwosTrainer
+from repro.core import ExecutionConfig, FairwosConfig, FairwosTrainer
 from repro.datasets import generate_scale_free_graph
 from repro.experiments import run_method
 from repro.fairness.metrics import accuracy
@@ -197,9 +197,11 @@ def test_scale_all_baselines_minibatch(benchmark):
                 seed=0,
                 epochs=epochs,
                 patience=None,
-                minibatch=True,
-                fanouts=FANOUTS,
-                batch_size=BATCH_SIZE,
+                execution=ExecutionConfig(
+                    minibatch=True,
+                    fanouts=FANOUTS,
+                    batch_size=BATCH_SIZE,
+                ),
             )
         return results
 

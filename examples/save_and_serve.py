@@ -26,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import load_dataset
+from repro import ExecutionConfig, load_dataset
 from repro.experiments.methods import run_method
 from repro.io import load_artifact, save_artifact
 
@@ -38,7 +38,7 @@ def main(dataset: str = "nba", seed: int = 0) -> None:
     print("Act 1 — train Fairwos once...")
     result = run_method(
         "fairwos", graph, epochs=30, finetune_epochs=5, seed=seed,
-        cf_backend="ann", keep_model=True,
+        execution=ExecutionConfig(cf_backend="ann"), keep_model=True,
     )
     trainer = result.extra["model"]
     live_logits = trainer.predict(graph)

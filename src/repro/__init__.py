@@ -21,7 +21,7 @@ Package map
 * :mod:`repro.experiments` — harness regenerating every table and figure
 """
 
-from repro.core import FairwosConfig, FairwosResult, FairwosTrainer
+from repro.core import ExecutionConfig, FairwosConfig, FairwosResult, FairwosTrainer
 from repro.datasets import available_datasets, load_dataset
 from repro.fairness import EvalResult, evaluate_predictions
 from repro.graph import Graph
@@ -30,6 +30,7 @@ from repro.tuning import GridSearchResult, grid_search_fairwos
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecutionConfig",
     "FairwosConfig",
     "FairwosResult",
     "FairwosTrainer",

@@ -50,6 +50,7 @@ import sys
 
 import numpy as np
 
+from repro.core import ExecutionConfig
 from repro.datasets import available_datasets, load_dataset
 from repro.experiments import (
     Scale,
@@ -97,66 +98,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--backbone", default="gcn")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--epochs", type=int, default=150)
-    run_parser.add_argument(
-        "--minibatch",
-        action="store_true",
-        help="train with neighbour-sampled minibatches (large graphs)",
-    )
-    run_parser.add_argument(
-        "--fanout",
-        type=_parse_fanouts,
-        default=None,
-        metavar="F1,F2,...",
-        help="per-layer neighbour fanouts, e.g. '10,5' (sets backbone depth)",
-    )
-    run_parser.add_argument("--batch-size", type=int, default=512)
-    run_parser.add_argument(
-        "--cache-epochs",
-        type=int,
-        default=1,
-        metavar="R",
-        help="reuse sampled minibatch structure for R epochs before "
-        "resampling (1 = fresh sampling every epoch)",
-    )
+    # Execution flags come from ExecutionConfig's declarative table: one
+    # row per knob, dest = the config field, default = the config default.
+    # Adding an execution knob means adding a table row, not another
+    # hand-kept add_argument call here.
+    exec_defaults = ExecutionConfig()
+    for field_name, spec in ExecutionConfig.cli_flags():
+        spec = dict(spec)
+        flag = spec.pop("flag")
+        if spec.get("type") == "fanouts":
+            spec["type"] = _parse_fanouts
+        run_parser.add_argument(
+            flag,
+            dest=field_name,
+            default=getattr(exec_defaults, field_name),
+            **spec,
+        )
     run_parser.add_argument(
         "--nodes",
         type=int,
         default=20_000,
         help="node count for --dataset scalefree",
-    )
-    run_parser.add_argument(
-        "--cf-backend",
-        choices=("exact", "ann"),
-        default="exact",
-        help="fairwos counterfactual search backend "
-        "(ann = random-projection forest for large graphs)",
-    )
-    run_parser.add_argument(
-        "--cf-refresh",
-        type=int,
-        default=None,
-        metavar="R",
-        help="refresh the counterfactual index every R fine-tune epochs",
-    )
-    run_parser.add_argument(
-        "--cf-update",
-        choices=("rebuild", "incremental"),
-        default="rebuild",
-        help="how an ANN refresh maintains the forest: rebuild from scratch "
-        "or incrementally re-route only drifted points",
-    )
-    run_parser.add_argument(
-        "--dtype",
-        choices=("float64", "float32"),
-        default="float64",
-        help="floating precision of the training stack (float32 halves "
-        "resident memory on large graphs; float64 is the exact baseline)",
-    )
-    run_parser.add_argument(
-        "--backend",
-        default="numpy",
-        help="array backend of the training stack (numpy is the exact "
-        "baseline; torch requires PyTorch to be importable)",
     )
     run_parser.add_argument(
         "--save",
@@ -320,42 +282,45 @@ def _load_cli_graph(dataset: str, seed: int, nodes: int):
 
 def _cmd_run(args) -> str:
     graph = _load_cli_graph(args.dataset, args.seed, args.nodes)
+    execution = ExecutionConfig(
+        **{
+            field_name: getattr(args, field_name)
+            for field_name, _ in ExecutionConfig.cli_flags()
+        }
+    )
     result = run_method(
         args.method,
         graph,
         backbone=args.backbone,
         seed=args.seed,
         epochs=args.epochs,
-        minibatch=args.minibatch,
-        fanouts=args.fanout,
-        batch_size=args.batch_size,
-        cache_epochs=args.cache_epochs,
-        cf_backend=args.cf_backend,
-        cf_refresh_epochs=args.cf_refresh,
-        cf_update=args.cf_update,
-        dtype=args.dtype,
-        backend=args.backend,
+        execution=execution,
         keep_model=args.save is not None,
     )
     mode = ""
-    if args.minibatch:
+    if execution.minibatch:
         from repro.training import DEFAULT_FANOUT
 
-        fanouts = args.fanout or (DEFAULT_FANOUT,)
+        fanouts = execution.fanouts or (DEFAULT_FANOUT,)
         mode = (
             f", minibatch fanout={','.join(map(str, fanouts))} "
-            f"batch={args.batch_size}"
+            f"batch={execution.batch_size}"
         )
-        if args.cache_epochs != 1:
-            mode += f" cache-epochs={args.cache_epochs}"
-    if args.method == "fairwos" and args.cf_backend != "exact":
-        mode += f", cf-backend={args.cf_backend}"
-        if args.cf_update != "rebuild":
-            mode += f" cf-update={args.cf_update}"
-    if args.dtype != "float64":
-        mode += f", dtype={args.dtype}"
-    if args.backend != "numpy":
-        mode += f", backend={args.backend}"
+        if execution.cache_epochs != 1:
+            mode += f" cache-epochs={execution.cache_epochs}"
+        if execution.num_workers:
+            mode += (
+                f" workers={execution.num_workers}"
+                f" prefetch={execution.prefetch_epochs}"
+            )
+    if args.method == "fairwos" and execution.cf_backend != "exact":
+        mode += f", cf-backend={execution.cf_backend}"
+        if execution.cf_update != "rebuild":
+            mode += f" cf-update={execution.cf_update}"
+    if execution.dtype != "float64":
+        mode += f", dtype={execution.dtype}"
+    if execution.backend != "numpy":
+        mode += f", backend={execution.backend}"
     output = (
         f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}"
         f"{mode}):\n  {result.test}\n  trained in {result.seconds:.1f}s"
@@ -368,6 +333,7 @@ def _cmd_run(args) -> str:
             graph,
             args.save,
             include_graph=not args.no_save_graph,
+            execution=execution,
         )
         output += f"\n  artifact saved to {path}"
     return output
@@ -382,6 +348,19 @@ def _cmd_score(args) -> str:
         f"(trained on {artifact.manifest['dataset']['name']}, "
         f"{artifact.manifest['dataset']['num_nodes']} nodes)"
     ]
+    if artifact.execution is not None:
+        defaults = ExecutionConfig()
+        shown = {
+            key: value
+            for key, value in artifact.execution.items()
+            if getattr(defaults, key, None)
+            != (tuple(value) if isinstance(value, list) else value)
+        }
+        if shown:
+            lines.append(
+                "  execution: "
+                + " ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+            )
     graph = None
     if args.dataset is not None:
         graph = _load_cli_graph(args.dataset, args.seed, args.nodes)

@@ -18,7 +18,7 @@ The five components of Fig. 2:
 """
 
 from repro.core.ann import AnnBackend, ExactBackend, RPForestIndex, exact_topk
-from repro.core.config import FairwosConfig
+from repro.core.config import ExecutionConfig, FairwosConfig
 from repro.core.encoder import EncoderModule, binarize_attributes
 from repro.core.counterfactual import CounterfactualSearch, CounterfactualIndex
 from repro.core.fairloss import (
@@ -39,6 +39,7 @@ __all__ = [
     "ExactBackend",
     "RPForestIndex",
     "exact_topk",
+    "ExecutionConfig",
     "FairwosConfig",
     "EncoderModule",
     "binarize_attributes",

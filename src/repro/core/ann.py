@@ -62,6 +62,7 @@ __all__ = [
     "RPForestIndex",
     "UpdateReport",
     "exact_topk",
+    "execute_tree_task",
     "ExactBackend",
     "AnnBackend",
     "make_backend",
@@ -284,16 +285,37 @@ class RPForestIndex:
             raise RuntimeError("call build() before reading points")
         return self._points
 
-    def build(self, X: np.ndarray) -> "RPForestIndex":
-        """(Re)build the forest over ``X``; returns ``self``."""
+    def build(self, X: np.ndarray, pool=None) -> "RPForestIndex":
+        """(Re)build the forest over ``X``; returns ``self``.
+
+        Trees are independent and each seeds its own generator from
+        ``(seed, tree_id)``, so a build sharded across a
+        :class:`~repro.training.parallel.WorkerPool` (one task per tree) is
+        bit-identical to the serial build.
+        """
         X = np.array(X, dtype=np.float64, copy=True)
         if X.ndim != 2 or X.shape[0] == 0:
             raise ValueError(f"expected a non-empty (N, d) matrix, got {X.shape}")
         self._points = X
         self._norms = (X**2).sum(axis=1)
         self._update_count = 0
-        rng = np.random.default_rng(self.seed)
-        self._trees = [self._build_tree(X, rng) for _ in range(self.num_trees)]
+        if pool is not None and self.num_trees > 1:
+            spec = {"leaf_size": self.leaf_size, "seed": self.seed}
+            x_spec = pool.publish(X)
+            try:
+                self._trees = pool.run_jobs(
+                    [
+                        ("tree_build", spec, x_spec, tree_id)
+                        for tree_id in range(self.num_trees)
+                    ]
+                )
+            finally:
+                pool.release(x_spec)
+        else:
+            self._trees = [
+                self._build_tree(X, np.random.default_rng([self.seed, t]))
+                for t in range(self.num_trees)
+            ]
         return self
 
     # ------------------------------------------------------------------ #
@@ -512,6 +534,7 @@ class RPForestIndex:
         moved: np.ndarray | None = None,
         drift_threshold: float | None = None,
         rebuild_frac: float | None = None,
+        pool=None,
     ) -> UpdateReport:
         """In-place maintenance over a drifted point matrix; returns a report.
 
@@ -541,6 +564,10 @@ class RPForestIndex:
             given, never re-filtered by the detector.
         drift_threshold, rebuild_frac:
             Per-call overrides of the constructor defaults.
+        pool:
+            Optional :class:`~repro.training.parallel.WorkerPool`; per-tree
+            re-routing is sharded across it, bit-identically (subtree-split
+            generators already seed from per-tree state).
 
         Updates are deterministic: the same index state and the same
         arguments always produce the same forest (subtree splits draw from
@@ -590,7 +617,7 @@ class RPForestIndex:
         if not 0.0 < limit <= 1.0:
             raise ValueError(f"rebuild_frac must be in (0, 1], got {limit}")
         if fraction > limit:
-            self.build(X)
+            self.build(X, pool=pool)
             return UpdateReport(
                 num_points=self.num_points,
                 num_moved=int(moved.size),
@@ -603,9 +630,29 @@ class RPForestIndex:
         self._norms = (self._points**2).sum(axis=1)
         splits = 0
         if moved.size:
-            queries = self._points[moved]
-            for tree_id, tree in enumerate(self._trees):
-                splits += self._reroute(tree, tree_id, moved, queries)
+            if pool is not None and self.num_trees > 1:
+                spec = {
+                    "leaf_size": self.leaf_size,
+                    "seed": self.seed,
+                    "overflow_factor": self.overflow_factor,
+                    "update_count": self._update_count,
+                }
+                x_spec = pool.publish(self._points)
+                try:
+                    rerouted = pool.run_jobs(
+                        [
+                            ("tree_reroute", spec, x_spec, tree_id, tree, moved)
+                            for tree_id, tree in enumerate(self._trees)
+                        ]
+                    )
+                finally:
+                    pool.release(x_spec)
+                self._trees = [tree for tree, _ in rerouted]
+                splits = sum(tree_splits for _, tree_splits in rerouted)
+            else:
+                queries = self._points[moved]
+                for tree_id, tree in enumerate(self._trees):
+                    splits += self._reroute(tree, tree_id, moved, queries)
         orphaned = 0
         compacted = 0
         for tree in self._trees:
@@ -994,6 +1041,42 @@ _INACTIVE = np.iinfo(np.int64).min  # "no start node" marker for greedy descent
 # --------------------------------------------------------------------- #
 # Counterfactual-search backends
 # --------------------------------------------------------------------- #
+def execute_tree_task(task, X: np.ndarray):
+    """Run one forest pool task against an attached point matrix.
+
+    Called by :mod:`repro.training.parallel` workers (and by the
+    in-process crash fallback, where ``X`` is the main-process view and
+    ``tree`` the live object — the in-place mutation then matches the
+    worker path's mutate-a-pickled-copy result exactly).
+
+    ``"tree_build"`` returns one :class:`_Tree` built with the per-tree
+    generator ``default_rng([seed, tree_id])`` — exactly the serial
+    :meth:`RPForestIndex.build` draw.  ``"tree_reroute"`` re-descends the
+    moved points through one tree and returns ``(tree, splits)``; subtree
+    splits seed from ``(seed, update_count, tree_id, leaf_id)`` exactly as
+    the serial :meth:`RPForestIndex.update` does.
+    """
+    kind = task[0]
+    if kind == "tree_build":
+        _, spec, _x_spec, tree_id = task
+        index = RPForestIndex(leaf_size=spec["leaf_size"], seed=spec["seed"])
+        return index._build_tree(
+            X, np.random.default_rng([spec["seed"], tree_id])
+        )
+    if kind == "tree_reroute":
+        _, spec, _x_spec, tree_id, tree, moved = task
+        index = RPForestIndex(
+            leaf_size=spec["leaf_size"],
+            seed=spec["seed"],
+            overflow_factor=spec["overflow_factor"],
+        )
+        index._points = np.asarray(X, dtype=np.float64)
+        index._update_count = spec["update_count"]
+        splits = index._reroute(tree, tree_id, moved, index._points[moved])
+        return tree, splits
+    raise ValueError(f"unknown forest task kind {kind!r}")
+
+
 class ExactBackend:
     """Brute-force oracle backend (the original O(N²) scan)."""
 
@@ -1066,6 +1149,10 @@ class AnnBackend:
         self.exhaustive = exhaustive
         self.update_mode = update
         self.last_report: UpdateReport | None = None
+        # Runtime-only attachment (never part of backend options, which
+        # must stay JSON-serializable for artifact manifests): a
+        # WorkerPool set by the trainer shards build/update by tree.
+        self.pool = None
 
     @property
     def index(self) -> RPForestIndex:
@@ -1080,9 +1167,9 @@ class AnnBackend:
             and self._index.num_points
             and self._index.points.shape == points.shape
         ):
-            self.last_report = self._index.update(points)
+            self.last_report = self._index.update(points, pool=self.pool)
         else:
-            self._index.build(points)
+            self._index.build(points, pool=self.pool)
             self.last_report = None
 
     def topk(

@@ -1,10 +1,10 @@
-"""Configuration for the Fairwos trainer."""
+"""Configuration for the Fairwos trainer and the shared execution knobs."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
-__all__ = ["FairwosConfig"]
+__all__ = ["ExecutionConfig", "FairwosConfig"]
 
 
 @dataclass
@@ -91,6 +91,13 @@ class FairwosConfig:
     every phase, exactly like ``dtype``.  Validation only checks the
     name is registered — the library itself is imported lazily at fit
     time, so configs naming an uninstalled backend remain constructible.
+
+    ``num_workers`` moves fresh-epoch neighbour sampling (and ANN-forest
+    build/update with ``cf_backend='ann'``) to that many worker
+    processes over shared-memory CSR, with ``prefetch_epochs`` epochs of
+    double-buffered lookahead — bit-identical to serial training (see
+    :mod:`repro.training.parallel`).  ``0`` (the default) keeps the
+    historical in-process path.
     """
 
     backbone: str = "gcn"
@@ -130,6 +137,8 @@ class FairwosConfig:
     cf_rebuild_frac: float = 0.5
     dtype: str = "float64"
     backend: str = "numpy"
+    num_workers: int = 0
+    prefetch_epochs: int = 1
 
     def validate(self) -> None:
         """Raise ``ValueError`` for inconsistent settings."""
@@ -209,6 +218,14 @@ class FairwosConfig:
                 "carry its own update policy — e.g. AnnBackend("
                 "update='incremental'))"
             )
+        if self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {self.num_workers}"
+            )
+        if self.prefetch_epochs < 0:
+            raise ValueError(
+                f"prefetch_epochs must be >= 0, got {self.prefetch_epochs}"
+            )
         if self.fanouts is not None:
             if len(self.fanouts) == 0:
                 raise ValueError("fanouts must be non-empty or None")
@@ -250,3 +267,223 @@ class FairwosConfig:
         if self.finetune_learning_rate is None:
             return self.learning_rate
         return self.finetune_learning_rate
+
+
+# ``repro run`` flag table: (field name, argparse kwargs).  One declarative
+# row per CLI-exposed ExecutionConfig field instead of hand-kept
+# ``add_argument`` calls — the CLI derives flags, ``run_method`` receives
+# the same names, and adding an execution knob means adding a row here.
+# ``"type": "fanouts"`` is a sentinel the CLI replaces with its
+# comma-separated-fanout parser.  ``finetune_minibatch`` has no row: it is
+# a tri-state resolved at fit time (``None`` → follow ``minibatch``) with
+# no natural boolean flag.
+_EXECUTION_CLI_FLAGS: tuple = (
+    (
+        "minibatch",
+        {
+            "flag": "--minibatch",
+            "action": "store_true",
+            "help": "train with neighbour-sampled minibatches (large graphs)",
+        },
+    ),
+    (
+        "fanouts",
+        {
+            "flag": "--fanout",
+            "type": "fanouts",
+            "metavar": "F1,F2,...",
+            "help": "per-layer neighbour fanouts, e.g. '10,5' "
+            "(sets backbone depth)",
+        },
+    ),
+    ("batch_size", {"flag": "--batch-size", "type": int}),
+    (
+        "cache_epochs",
+        {
+            "flag": "--cache-epochs",
+            "type": int,
+            "metavar": "R",
+            "help": "reuse sampled minibatch structure for R epochs before "
+            "resampling (1 = fresh sampling every epoch)",
+        },
+    ),
+    (
+        "cf_backend",
+        {
+            "flag": "--cf-backend",
+            "choices": ("exact", "ann"),
+            "help": "fairwos counterfactual search backend "
+            "(ann = random-projection forest for large graphs)",
+        },
+    ),
+    (
+        "cf_refresh_epochs",
+        {
+            "flag": "--cf-refresh",
+            "type": int,
+            "metavar": "R",
+            "help": "refresh the counterfactual index every R fine-tune "
+            "epochs",
+        },
+    ),
+    (
+        "cf_update",
+        {
+            "flag": "--cf-update",
+            "choices": ("rebuild", "incremental"),
+            "help": "how an ANN refresh maintains the forest: rebuild from "
+            "scratch or incrementally re-route only drifted points",
+        },
+    ),
+    (
+        "dtype",
+        {
+            "flag": "--dtype",
+            "choices": ("float64", "float32"),
+            "help": "floating precision of the training stack (float32 "
+            "halves resident memory on large graphs; float64 is the exact "
+            "baseline)",
+        },
+    ),
+    (
+        "backend",
+        {
+            "flag": "--backend",
+            "help": "array backend of the training stack (numpy is the "
+            "exact baseline; torch requires PyTorch to be importable)",
+        },
+    ),
+    (
+        "num_workers",
+        {
+            "flag": "--num-workers",
+            "type": int,
+            "metavar": "W",
+            "help": "sample fresh minibatch epochs in W worker processes "
+            "over shared-memory CSR (0 = in-process; results are "
+            "bit-identical either way)",
+        },
+    ),
+    (
+        "prefetch_epochs",
+        {
+            "flag": "--prefetch-epochs",
+            "type": int,
+            "metavar": "P",
+            "help": "with --num-workers: double-buffer up to P sampled "
+            "epochs ahead of the training loop (0 = sample synchronously)",
+        },
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a method executes — sampling, precision, parallelism — as one value.
+
+    Every field here is a *how*, not a *what*: none of them changes the
+    optimisation problem, only the substrate it runs on (sampled vs
+    full-batch epochs, exact vs ANN counterfactual search, float64 vs
+    float32, in-process vs multiprocess sampling).  The same value can be
+    handed to every method via
+    :func:`repro.experiments.methods.run_method`'s ``execution=`` keyword,
+    which forwards the Fairwos-only fields (``finetune_minibatch``,
+    ``cf_*``) to :class:`FairwosConfig` and the shared fields to the
+    baselines.
+
+    Field semantics match the FairwosConfig fields of the same name; see
+    that class for the long-form documentation.  ``num_workers`` and
+    ``prefetch_epochs`` control the multiprocess sampler of
+    :mod:`repro.training.parallel` and are *only* reachable through this
+    config (they have no legacy flat-kwarg spelling).
+
+    Frozen: a value can be shared across ``run_method`` calls, threads and
+    result manifests without defensive copying.
+    """
+
+    minibatch: bool = False
+    fanouts: tuple[int, ...] | None = None
+    batch_size: int = 512
+    cache_epochs: int = 1
+    finetune_minibatch: bool | None = None
+    cf_backend: str = "exact"
+    cf_refresh_epochs: int | None = None
+    cf_update: str = "rebuild"
+    dtype: str = "float64"
+    backend: str = "numpy"
+    num_workers: int = 0
+    prefetch_epochs: int = 1
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent settings.
+
+        Mirrors the matching :meth:`FairwosConfig.validate` checks except
+        the fanouts-vs-layer-count coupling, which needs the backbone
+        depth and is re-checked at fit time.
+        """
+        from repro.tensor.backend import resolve_backend
+        from repro.tensor.dtype import resolve_dtype
+
+        resolve_dtype(self.dtype)
+        resolve_backend(self.backend)
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.cache_epochs < 1:
+            raise ValueError(
+                f"cache_epochs must be >= 1, got {self.cache_epochs}"
+            )
+        if isinstance(self.cf_backend, str) and self.cf_backend.lower() not in (
+            "exact",
+            "ann",
+        ):
+            raise ValueError(
+                f"cf_backend must be 'exact' or 'ann', got {self.cf_backend!r}"
+            )
+        if self.cf_refresh_epochs is not None and self.cf_refresh_epochs < 1:
+            raise ValueError("cf_refresh_epochs must be >= 1 or None")
+        if self.cf_update not in ("rebuild", "incremental"):
+            raise ValueError(
+                f"cf_update must be 'rebuild' or 'incremental', got "
+                f"{self.cf_update!r}"
+            )
+        if self.cf_update == "incremental" and not (
+            isinstance(self.cf_backend, str)
+            and self.cf_backend.lower() == "ann"
+        ):
+            raise ValueError(
+                "cf_update='incremental' requires cf_backend='ann'"
+            )
+        if self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {self.num_workers}"
+            )
+        if self.prefetch_epochs < 0:
+            raise ValueError(
+                f"prefetch_epochs must be >= 0, got {self.prefetch_epochs}"
+            )
+        if self.fanouts is not None:
+            if len(self.fanouts) == 0:
+                raise ValueError("fanouts must be non-empty or None")
+            if any(f is not None and f < 1 for f in self.fanouts):
+                raise ValueError(
+                    f"fanouts entries must be >= 1, got {self.fanouts}"
+                )
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """Every execution field name, in declaration order."""
+        return tuple(f.name for f in fields(cls))
+
+    @classmethod
+    def cli_flags(cls) -> tuple:
+        """The ``(field, argparse spec)`` table behind ``repro run``."""
+        return _EXECUTION_CLI_FLAGS
+
+    def non_default_items(self) -> dict:
+        """Fields whose value differs from the class default."""
+        out = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                out[f.name] = value
+        return out

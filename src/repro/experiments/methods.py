@@ -13,14 +13,35 @@ strong end of the grid.
 from __future__ import annotations
 
 import time
+import warnings
 
 from repro.baselines import FairGKD, KSMOTE, FairRF, RemoveR, Vanilla
 from repro.baselines.base import MethodResult
-from repro.core import FairwosConfig, FairwosTrainer
+from repro.core import ExecutionConfig, FairwosConfig, FairwosTrainer
 from repro.graph import Graph
 from repro.tensor import backend_scope, dtype_scope
 
 __all__ = ["available_methods", "run_method", "FAIRWOS_OVERRIDES", "METHOD_ORDER"]
+
+# Sentinel distinguishing "caller never passed this flat kwarg" from any
+# real value (None is a meaningful setting for several of them).
+_UNSET = object()
+
+# The legacy flat spellings of the execution knobs, in ExecutionConfig
+# order.  num_workers/prefetch_epochs are deliberately absent: the new
+# knobs are only reachable through ``execution=ExecutionConfig(...)``.
+_FLAT_EXECUTION_KWARGS = (
+    "minibatch",
+    "fanouts",
+    "batch_size",
+    "cache_epochs",
+    "cf_backend",
+    "cf_refresh_epochs",
+    "finetune_minibatch",
+    "cf_update",
+    "dtype",
+    "backend",
+)
 
 METHOD_ORDER = [
     "vanilla",
@@ -72,16 +93,17 @@ def run_method(
     finetune_epochs: int = 15,
     patience: int | None = 30,
     fairwos_config: FairwosConfig | None = None,
-    minibatch: bool = False,
-    fanouts: tuple[int, ...] | None = None,
-    batch_size: int = 512,
-    cache_epochs: int = 1,
-    cf_backend: str = "exact",
-    cf_refresh_epochs: int | None = None,
-    finetune_minibatch: bool | None = None,
-    cf_update: str = "rebuild",
-    dtype: str = "float64",
-    backend: str = "numpy",
+    execution: ExecutionConfig | None = None,
+    minibatch=_UNSET,
+    fanouts=_UNSET,
+    batch_size=_UNSET,
+    cache_epochs=_UNSET,
+    cf_backend=_UNSET,
+    cf_refresh_epochs=_UNSET,
+    finetune_minibatch=_UNSET,
+    cf_update=_UNSET,
+    dtype=_UNSET,
+    backend=_UNSET,
     keep_model: bool = False,
 ) -> MethodResult:
     """Train one method and return its evaluation.
@@ -107,37 +129,34 @@ def run_method(
         Budgets (see :class:`~repro.experiments.scale.Scale`).
     fairwos_config:
         Full config override for the Fairwos run; when None the per-dataset
-        entry of :data:`FAIRWOS_OVERRIDES` is applied.
-    minibatch, fanouts, batch_size:
-        Neighbour-sampled training (large graphs).  Supported by every
-        method: "vanilla"/"remover" train through the shared
+        entry of :data:`FAIRWOS_OVERRIDES` is applied.  Execution settings
+        that disagree with an explicit config are rejected — set them on
+        the config itself.
+    execution:
+        How the method executes, as one
+        :class:`~repro.core.config.ExecutionConfig` value: sampled vs
+        full-batch training (``minibatch``/``fanouts``/``batch_size``/
+        ``cache_epochs``), the Fairwos fine-tune scaling knobs
+        (``finetune_minibatch``/``cf_backend``/``cf_refresh_epochs``/
+        ``cf_update`` — ignored by baselines), precision and array backend
+        (``dtype``/``backend``), and multiprocess sampling
+        (``num_workers``/``prefetch_epochs``; see
+        :mod:`repro.training.parallel`).  Every method honours the shared
+        fields: "vanilla"/"remover" train through the shared
         :func:`~repro.training.fit_minibatch` engine, "ksmote" adds a
         minibatch-k-means cluster step, "fairrf"/"fairgkd" evaluate their
         fairness terms on sampled batches, and "fairwos" runs all three
         phases sampled.  With ``fanouts`` set, the backbone depth follows
-        its length.
-    cache_epochs:
-        Epoch-level sampling-cache window of the minibatch engine: sampled
-        batch structure is refreshed every that many epochs and replayed in
-        between (1 = fresh every epoch).  Applies to every
-        minibatch-capable method.
-    cf_backend, cf_refresh_epochs, finetune_minibatch, cf_update:
-        Fairwos fine-tune scaling knobs (see
-        :class:`~repro.core.config.FairwosConfig`); ignored by baselines.
-        ``cf_update="incremental"`` maintains the ANN forest in place
-        between refreshes instead of rebuilding it (drift threshold and
-        rebuild escape hatch via ``fairwos_config``).
-    dtype:
-        Floating precision of the training stack (``"float64"`` or
-        ``"float32"``).  Fairwos threads it through
-        :attr:`~repro.core.config.FairwosConfig.dtype`; baselines run
-        inside a :func:`repro.tensor.dtype_scope`.  ``"float32"`` halves
-        resident memory on the large-graph tier.
-    backend:
-        Array backend of the training stack (``"numpy"`` default;
-        ``"torch"`` when PyTorch is importable).  Fairwos threads it
-        through :attr:`~repro.core.config.FairwosConfig.backend`;
-        baselines run inside a :func:`repro.tensor.backend_scope`.
+        its length.  ``None`` means the defaults (full-batch, exact,
+        float64, numpy, in-process).
+    minibatch, fanouts, batch_size, cache_epochs, cf_backend, \
+    cf_refresh_epochs, finetune_minibatch, cf_update, dtype, backend:
+        **Deprecated** flat spellings of the matching
+        :class:`~repro.core.config.ExecutionConfig` fields, kept as a
+        compatibility shim.  Passing any of them emits a
+        ``DeprecationWarning``; passing them *and* ``execution`` is an
+        error.  ``num_workers``/``prefetch_epochs`` have no flat
+        spelling — they are only reachable through ``execution``.
     keep_model:
         Attach the fitted runner (the :class:`~repro.core.FairwosTrainer`
         or baseline instance) to ``result.extra["model"]`` so callers can
@@ -145,6 +164,42 @@ def run_method(
         ``run --save``).  Off by default: sweep-style callers run many
         methods and must not pin every model in memory.
     """
+    flat = {
+        name: value
+        for name, value in (
+            ("minibatch", minibatch),
+            ("fanouts", fanouts),
+            ("batch_size", batch_size),
+            ("cache_epochs", cache_epochs),
+            ("cf_backend", cf_backend),
+            ("cf_refresh_epochs", cf_refresh_epochs),
+            ("finetune_minibatch", finetune_minibatch),
+            ("cf_update", cf_update),
+            ("dtype", dtype),
+            ("backend", backend),
+        )
+        if value is not _UNSET
+    }
+    if flat:
+        if execution is not None:
+            raise ValueError(
+                "execution settings were passed both as flat keyword "
+                f"arguments ({', '.join(sorted(flat))}) and as "
+                "execution=ExecutionConfig(...); pass them only through "
+                "the ExecutionConfig"
+            )
+        warnings.warn(
+            "passing execution settings to run_method as flat keyword "
+            f"arguments ({', '.join(sorted(flat))}) is deprecated; pass "
+            "execution=ExecutionConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        execution = ExecutionConfig(**flat)
+    if execution is None:
+        execution = ExecutionConfig()
+    execution.validate()
+
     key = method.lower()
     baseline_classes = {
         "vanilla": Vanilla,
@@ -158,14 +213,16 @@ def run_method(
             backbone=backbone,
             epochs=epochs,
             patience=patience,
-            minibatch=minibatch,
-            fanouts=fanouts,
-            batch_size=batch_size,
-            cache_epochs=cache_epochs,
-            num_layers=len(fanouts) if fanouts else 1,
+            minibatch=execution.minibatch,
+            fanouts=execution.fanouts,
+            batch_size=execution.batch_size,
+            cache_epochs=execution.cache_epochs,
+            num_workers=execution.num_workers,
+            prefetch_epochs=execution.prefetch_epochs,
+            num_layers=len(execution.fanouts) if execution.fanouts else 1,
         )
         runner = baseline_classes[key](**kwargs)
-        with backend_scope(backend), dtype_scope(dtype):
+        with backend_scope(execution.backend), dtype_scope(execution.dtype):
             result = runner.fit(graph, seed=seed)
         if keep_model:
             result.extra["model"] = runner
@@ -173,22 +230,26 @@ def run_method(
     if key != "fairwos":
         raise ValueError(f"unknown method {method!r}; choose from {METHOD_ORDER}")
 
-    if fairwos_config is not None and (
-        minibatch
-        or cache_epochs != 1
-        or cf_backend != "exact"
-        or cf_refresh_epochs is not None
-        or finetune_minibatch is not None
-        or cf_update != "rebuild"
-        or dtype != "float64"
-        or backend != "numpy"
-    ):
-        raise ValueError(
-            "pass minibatch/counterfactual/dtype/backend settings inside "
-            "fairwos_config (minibatch/fanouts/batch_size/cache_epochs/"
-            "cf_backend/cf_refresh_epochs/cf_update/dtype/backend fields) "
-            "when supplying an explicit config"
-        )
+    if fairwos_config is not None:
+        # Every execution field set away from its default must agree with
+        # the explicit config — a silent winner would make runs depend on
+        # which spelling the caller happened to use.  (This covers every
+        # field, including fanouts/batch_size, which the historical check
+        # missed.)
+        conflicts = [
+            name
+            for name, value in sorted(execution.non_default_items().items())
+            if getattr(fairwos_config, name) != value
+        ]
+        if conflicts:
+            raise ValueError(
+                f"execution settings ({', '.join(conflicts)}) disagree with "
+                "the explicit fairwos_config; when supplying a full config, "
+                "set its execution fields (minibatch/fanouts/batch_size/"
+                "cache_epochs/cf_backend/cf_refresh_epochs/"
+                "finetune_minibatch/cf_update/dtype/backend/num_workers/"
+                "prefetch_epochs) directly"
+            )
     if fairwos_config is None:
         overrides = FAIRWOS_OVERRIDES.get(graph.name, FAIRWOS_OVERRIDES["default"])
         fairwos_config = FairwosConfig(
@@ -197,17 +258,19 @@ def run_method(
             classifier_epochs=epochs,
             finetune_epochs=finetune_epochs,
             patience=patience,
-            minibatch=minibatch,
-            fanouts=fanouts,
-            batch_size=batch_size,
-            cache_epochs=cache_epochs,
-            num_layers=len(fanouts) if fanouts else 1,
-            cf_backend=cf_backend,
-            cf_refresh_epochs=cf_refresh_epochs,
-            finetune_minibatch=finetune_minibatch,
-            cf_update=cf_update,
-            dtype=dtype,
-            backend=backend,
+            minibatch=execution.minibatch,
+            fanouts=execution.fanouts,
+            batch_size=execution.batch_size,
+            cache_epochs=execution.cache_epochs,
+            num_layers=len(execution.fanouts) if execution.fanouts else 1,
+            cf_backend=execution.cf_backend,
+            cf_refresh_epochs=execution.cf_refresh_epochs,
+            finetune_minibatch=execution.finetune_minibatch,
+            cf_update=execution.cf_update,
+            dtype=execution.dtype,
+            backend=execution.backend,
+            num_workers=execution.num_workers,
+            prefetch_epochs=execution.prefetch_epochs,
             **overrides,
         )
     start = time.perf_counter()

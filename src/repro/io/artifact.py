@@ -134,6 +134,7 @@ def save_artifact(
     graph: Graph,
     path: str | Path,
     include_graph: bool = True,
+    execution=None,
 ) -> Path:
     """Persist a fitted method as a versioned artifact directory.
 
@@ -155,6 +156,11 @@ def save_artifact(
         Bundle the graph via :func:`repro.io.save_graph` so ``repro
         score --artifact PATH`` needs no dataset flag.  Disable for very
         large graphs stored elsewhere.
+    execution:
+        The resolved :class:`~repro.core.config.ExecutionConfig` the model
+        was trained under; persisted verbatim into the manifest
+        (``manifest["execution"]``) so a run is reproducible from its
+        artifact alone (``repro run --save`` passes it automatically).
 
     Returns the artifact directory path.
     """
@@ -174,6 +180,8 @@ def save_artifact(
         )
 
     manifest["format_version"] = ARTIFACT_VERSION
+    if execution is not None:
+        manifest["execution"] = _jsonify(asdict(execution))
     manifest["dataset"] = {
         "name": graph.name,
         "num_nodes": int(graph.num_nodes),
@@ -453,6 +461,10 @@ class ModelArtifact:
         self._graph: Graph | None = None
         self._index_backend = None
         self._cf_state: tuple | None = None
+        # The resolved execution settings the run trained under, when the
+        # saver recorded them (repro run --save does); None for artifacts
+        # written before the execution manifest or saved without one.
+        self.execution: dict | None = manifest.get("execution")
         if self.kind == "fairwos":
             self._load_fairwos()
         else:

@@ -1,0 +1,579 @@
+"""Multiprocess sampler workers with double-buffered epoch prefetch.
+
+The serial :class:`~repro.training.engine.MinibatchEngine` spends most of a
+sampled epoch's wall-time in numpy block assembly — work that is pure given
+the graph and the random draws.  This module splits one training process
+into three cooperating layers:
+
+* :class:`WorkerPool` — ``num_workers`` forked processes attached to the
+  graph's CSR arrays through ``multiprocessing.shared_memory`` (published
+  once, zero copies per task).  Workers execute order-tagged jobs — block
+  assembly from pre-drawn edge keys, and per-tree RP-forest build/re-route
+  — and the pool reorders results, detects dead workers, and falls back to
+  in-process execution with a :class:`RuntimeWarning` when one crashes.
+* :class:`EpochPrefetcher` — a producer thread in the *main* process that
+  records epoch ``E+1``'s step sequence (shuffle, seed extension, edge-key
+  draws) while the trainer runs epoch ``E``, fanning the heavy block
+  assembly out to the pool.  Double buffering: ``prefetch_epochs`` finished
+  epochs may sit ready ahead of the consumer.
+* The engine's serial loop, unchanged — ``num_workers=0`` never touches
+  this module.
+
+Determinism contract
+--------------------
+Parallel training is bit-identical to serial training because randomness
+never leaves the main process:
+
+1. All generator consumption of a serial epoch happens in
+   ``MinibatchEngine._fresh_steps`` — shuffle, ``seed_fn`` draws, then one
+   :meth:`~repro.graph.sampling.NeighborSampler.draw_edge_keys` payload per
+   layer.  The producer replays exactly that sequence on a *clone* of the
+   engine generator, so the draws (and their order) are identical.
+2. Workers receive ``(seeds, fanouts, keys)`` and run the deterministic
+   :meth:`~repro.graph.sampling.NeighborSampler.sample_block_with_keys`
+   half — any process, any order, same block.
+3. ``close(rng)`` writes the clone's state after the last *delivered*
+   epoch back into the engine generator — exactly the state serial
+   training would have left it in (replayed cache epochs consume nothing).
+4. :meth:`EpochPrefetcher.invalidate` discards speculative epochs staged
+   before a consumer-visible change (e.g. a counterfactual-index refresh)
+   and rewinds the clone to the end of the last delivered epoch — the same
+   state a serial engine would freshly sample from after its cache
+   invalidation.
+
+The fan-out path applies to depth-1 samplers (the paper's operating
+point): deeper chains need layer ``k``'s sources before layer ``k+1``'s
+keys can be drawn, so multi-layer epochs are staged whole in the producer
+thread (still overlapped with training, not sharded across workers).
+
+One caveat: the contract assumes the engine generator is consumed only by
+the sampling stream during ``run()`` (true for every engine consumer in
+this repo; a model with ``dropout > 0`` would also draw from it per
+forward pass and break bit-parity — dropout defaults to 0).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_lib
+import threading
+import traceback
+import warnings
+from collections import deque
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.graph.sampling import NeighborSampler
+from repro.training.engine import iter_minibatches
+
+__all__ = ["EpochPrefetcher", "WorkerPool"]
+
+_RESULT_POLL_SECONDS = 1.0
+
+
+# --------------------------------------------------------------------- #
+# shared-memory publication
+# --------------------------------------------------------------------- #
+def _publish_array(array: np.ndarray):
+    """Copy ``array`` into a fresh SharedMemory segment.
+
+    Returns ``(shm, spec, view)``: the owning handle, the picklable
+    ``(name, shape, dtype)`` spec workers attach with, and the main-process
+    view over the segment.
+    """
+    from multiprocessing import shared_memory
+
+    array = np.ascontiguousarray(array)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array
+    return shm, (shm.name, array.shape, array.dtype.str), view
+
+
+def _attach_array(spec):
+    """Attach to a published segment; returns ``(shm, view)``.
+
+    Only the owning (main) process ever unlinks: forked workers share the
+    parent's resource tracker, so attaching here must not touch tracker
+    registrations (an attach-side unregister would strip the creator's
+    entry and break the shutdown unlink).
+    """
+    from multiprocessing import shared_memory
+
+    name, shape, dtype = spec
+    shm = shared_memory.SharedMemory(name=name)
+    return shm, np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+# --------------------------------------------------------------------- #
+# task execution (same code path in workers and in the crash fallback)
+# --------------------------------------------------------------------- #
+def _execute_task(task, csr, local_views=None):
+    """Run one pool task; pure given its inputs.
+
+    ``csr`` is the pool's ``(indptr, indices, degrees)`` triple (``None``
+    for forest-only pools); ``local_views`` maps shared-segment names to
+    main-process views so the in-process fallback never re-attaches.
+    """
+    kind = task[0]
+    if kind == "blocks":
+        _, seeds, fanouts, replace, keys_list = task
+        if csr is None:
+            raise RuntimeError("pool was created without graph CSR arrays")
+        indptr, indices, degrees = csr
+        sampler = NeighborSampler.from_csr_arrays(
+            indptr, indices, degrees, indptr.shape[0] - 1, fanouts, replace
+        )
+        return sampler.sample_blocks_with_keys(seeds, keys_list)
+    if kind in ("tree_build", "tree_reroute"):
+        from repro.core.ann import execute_tree_task
+
+        x_spec = task[2]
+        if local_views is not None and x_spec[0] in local_views:
+            return execute_tree_task(task, local_views[x_spec[0]])
+        shm, X = _attach_array(x_spec)
+        try:
+            return execute_tree_task(task, X)
+        finally:
+            shm.close()
+    raise ValueError(f"unknown pool task kind {kind!r}")
+
+
+def _worker_main(task_queue, result_queue, csr_specs):
+    """Worker loop: attach shared CSR once, then drain order-tagged tasks."""
+    shms = []
+    csr = None
+    if csr_specs is not None:
+        arrays = []
+        for spec in csr_specs:
+            shm, view = _attach_array(spec)
+            shms.append(shm)
+            arrays.append(view)
+        csr = tuple(arrays)
+    try:
+        while True:
+            item = task_queue.get()
+            if item is None:
+                break
+            job_id, task = item
+            try:
+                result_queue.put((job_id, True, _execute_task(task, csr)))
+            except BaseException as exc:
+                result_queue.put(
+                    (job_id, False, f"{exc}\n{traceback.format_exc()}")
+                )
+    finally:
+        for shm in shms:
+            shm.close()
+
+
+class WorkerPool:
+    """Forked sampler workers over shared-memory graph CSR.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes to fork (>= 1).
+    adjacency:
+        Optional graph adjacency.  When given, its CSR arrays (``indptr``,
+        ``indices``, ``degrees`` — exactly the dtypes a
+        :class:`~repro.graph.sampling.NeighborSampler` over the same matrix
+        holds) are published to shared memory once, and workers can execute
+        ``"blocks"`` tasks against them.  Without it the pool only runs
+        forest tasks.
+
+    Tasks go through a shared queue (dynamic load balancing) tagged with
+    their position; :meth:`run_jobs` reorders results, so callers always
+    see positional results regardless of scheduling.  If a worker dies
+    mid-batch the pool warns (:class:`RuntimeWarning`), terminates the
+    remaining workers, and completes every unfinished task in-process —
+    bit-identical output, because tasks are pure and their random payloads
+    were drawn by the caller.
+
+    The pool is thread-safe: concurrent :meth:`run_jobs` calls (e.g. the
+    epoch producer and a main-thread forest refresh) serialize on an
+    internal lock.  Use as a context manager or call :meth:`shutdown`.
+    """
+
+    def __init__(self, num_workers: int, adjacency=None) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = int(num_workers)
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._lock = threading.Lock()
+        self._segments = []  # owned SharedMemory handles, unlinked on shutdown
+        self._local_views: dict[str, np.ndarray] = {}
+        self._csr = None
+        self._source_indptr = None
+        csr_specs = None
+        if adjacency is not None:
+            import scipy.sparse as sp
+
+            matrix = sp.csr_matrix(adjacency)
+            self._source_indptr = matrix.indptr
+            indptr = matrix.indptr
+            indices = matrix.indices.astype(np.int64, copy=False)
+            degrees = np.diff(matrix.indptr).astype(np.int64)
+            csr_specs = []
+            views = []
+            for array in (indptr, indices, degrees):
+                shm, spec, view = _publish_array(array)
+                self._segments.append(shm)
+                self._local_views[spec[0]] = view
+                csr_specs.append(spec)
+                views.append(view)
+            self._csr = tuple(views)
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._workers = [
+            self._ctx.Process(
+                target=_worker_main,
+                args=(self._task_queue, self._result_queue, csr_specs),
+                daemon=True,
+            )
+            for _ in range(self.num_workers)
+        ]
+        for proc in self._workers:
+            proc.start()
+        self._alive = True
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def matches_sampler(self, sampler: NeighborSampler) -> bool:
+        """Whether ``sampler`` samples the adjacency this pool published.
+
+        Identity-based: every sampler built over the same CSR matrix object
+        shares its ``indptr`` array, so a shared pool handed to an engine
+        over a *different* graph is caught before it returns wrong blocks.
+        """
+        return (
+            self._source_indptr is not None
+            and sampler.csr_arrays()[0] is self._source_indptr
+        )
+
+    @property
+    def healthy(self) -> bool:
+        """False once a worker crash demoted the pool to in-process mode."""
+        return self._alive
+
+    # ------------------------------------------------------------------ #
+    def publish(self, array: np.ndarray):
+        """Publish a temporary array; returns its spec (freed on release).
+
+        Used per forest build/update call to ship the point matrix once
+        instead of once per tree task.  Call :meth:`release` afterwards.
+        """
+        shm, spec, view = _publish_array(array)
+        self._segments.append(shm)
+        self._local_views[spec[0]] = view
+        return spec
+
+    def release(self, spec) -> None:
+        """Unlink a :meth:`publish`'d segment."""
+        name = spec[0]
+        self._local_views.pop(name, None)
+        for shm in list(self._segments):
+            if shm.name == name:
+                self._segments.remove(shm)
+                self._close_segment(shm)
+
+    # ------------------------------------------------------------------ #
+    def run_jobs(self, tasks: Sequence[tuple]) -> list:
+        """Execute ``tasks``; results in task order.
+
+        A task raising inside a worker re-raises here (with the worker
+        traceback) after the batch drains; a worker *dying* triggers the
+        in-process fallback for everything unfinished.
+        """
+        with self._lock:
+            if not self._alive:
+                return [self._run_local(task) for task in tasks]
+            results = [None] * len(tasks)
+            pending = set(range(len(tasks)))
+            for job_id, task in enumerate(tasks):
+                self._task_queue.put((job_id, task))
+            failure = None
+            while pending:
+                try:
+                    job_id, ok, payload = self._result_queue.get(
+                        timeout=_RESULT_POLL_SECONDS
+                    )
+                except queue_lib.Empty:
+                    if all(proc.is_alive() for proc in self._workers):
+                        continue
+                    warnings.warn(
+                        "a sampler worker process died; completing this "
+                        "batch in-process and disabling the worker pool",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    self._abort()
+                    for job_id, ok, payload in self._drain_results():
+                        if job_id in pending and ok:
+                            results[job_id] = payload
+                            pending.discard(job_id)
+                    for job_id in sorted(pending):
+                        results[job_id] = self._run_local(tasks[job_id])
+                    pending.clear()
+                    break
+                if ok:
+                    results[job_id] = payload
+                elif failure is None:
+                    failure = payload
+                pending.discard(job_id)
+            if failure is not None:
+                raise RuntimeError(f"pool task failed in worker:\n{failure}")
+            return results
+
+    def _run_local(self, task):
+        return _execute_task(task, self._csr, self._local_views)
+
+    def _drain_results(self):
+        """Collect whatever finished results are still queued (non-blocking)."""
+        items = []
+        while True:
+            try:
+                items.append(self._result_queue.get_nowait())
+            except queue_lib.Empty:
+                return items
+
+    def _abort(self) -> None:
+        """Terminate all workers after a crash; the pool goes in-process."""
+        self._alive = False
+        for proc in self._workers:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._workers:
+            proc.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _close_segment(shm) -> None:
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def shutdown(self) -> None:
+        """Stop workers and free every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            if self._alive:
+                self._alive = False
+                for _ in self._workers:
+                    self._task_queue.put(None)
+                for proc in self._workers:
+                    proc.join(timeout=5.0)
+                for proc in self._workers:
+                    if proc.is_alive():  # pragma: no cover - stuck worker
+                        proc.terminate()
+                        proc.join(timeout=5.0)
+            self._task_queue.close()
+            self._result_queue.close()
+            for shm in self._segments:
+                self._close_segment(shm)
+            self._segments = []
+            self._local_views = {}
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------- #
+# epoch prefetcher
+# --------------------------------------------------------------------- #
+class EpochPrefetcher:
+    """Stage fresh epochs ahead of the training loop, bit-identically.
+
+    The producer thread replays ``MinibatchEngine._fresh_steps``'s exact
+    generator consumption on a clone of the engine rng: permutation, per
+    batch the optional ``seed_fn`` draws, then one ``draw_edge_keys``
+    payload per layer.  Depth-1 block assembly fans out to ``pool``; the
+    assembled ``(batch, seeds, payload, blocks)`` lists buffer up to
+    ``prefetch_epochs`` epochs ahead.
+
+    ``prefetch_epochs=0`` runs synchronously inside :meth:`next_epoch`
+    (pool fan-out without speculation — useful when warnings or errors must
+    surface deterministically in the calling thread).
+
+    :meth:`invalidate` makes speculation safe next to epoch-cache
+    invalidation: staged-but-undelivered epochs are discarded and the clone
+    rewinds to the end of the last delivered epoch, so the next delivery is
+    exactly the epoch a serial engine would sample after the same
+    invalidation.  :meth:`close` joins the producer and (optionally) syncs
+    the engine rng to the post-last-delivered-epoch state.
+    """
+
+    def __init__(
+        self,
+        sampler: NeighborSampler,
+        nodes: np.ndarray,
+        batch_size: int,
+        rng: np.random.Generator,
+        pool: WorkerPool,
+        *,
+        seed_fn: Callable | None = None,
+        sort_batches: bool = False,
+        prefetch_epochs: int = 1,
+    ) -> None:
+        if prefetch_epochs < 0:
+            raise ValueError(
+                f"prefetch_epochs must be >= 0, got {prefetch_epochs}"
+            )
+        self._sampler = sampler
+        self._nodes = nodes
+        self._batch_size = batch_size
+        self._pool = pool
+        self._seed_fn = seed_fn
+        self._sort_batches = sort_batches
+        self._prefetch_epochs = prefetch_epochs
+        self._local = np.random.default_rng()
+        self._local.bit_generator.state = rng.bit_generator.state
+        self._resume_state = rng.bit_generator.state
+        self._rewind_pending = False
+        self._generation = 0
+        self._buffer: deque = deque()  # staged (steps, end_state) pairs
+        self._error: tuple[int, BaseException] | None = None
+        self._closed = False
+        self._cond = threading.Condition()
+        self._thread: threading.Thread | None = None
+        if prefetch_epochs > 0:
+            self._thread = threading.Thread(
+                target=self._producer, name="epoch-prefetcher", daemon=True
+            )
+            self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    def _produce_epoch(self) -> tuple[list, dict]:
+        """Stage one epoch's draws and assemble its blocks via the pool."""
+        local = self._local
+        depth1 = self._sampler.num_layers == 1
+        staged = []  # (batch, seeds, payload, task-or-blocks)
+        for batch in iter_minibatches(self._nodes, self._batch_size, local):
+            if self._sort_batches:
+                batch = np.sort(batch)
+            if self._seed_fn is not None:
+                seeds, payload = self._seed_fn(batch, local)
+            else:
+                seeds, payload = batch, None
+            if depth1:
+                valid = self._sampler._validated_seeds(seeds)
+                keys = self._sampler.draw_edge_keys(
+                    valid, self._sampler.fanouts[0], local
+                )
+                task = (
+                    "blocks",
+                    valid,
+                    self._sampler.fanouts,
+                    self._sampler.replace,
+                    [keys],
+                )
+                staged.append((batch, seeds, payload, task))
+            else:
+                # Deeper chains: layer k+1's key sizes depend on layer k's
+                # sources, so the whole chain is built here (overlapped
+                # with training, not sharded).
+                blocks = self._sampler.sample_blocks(seeds, local)
+                staged.append((batch, seeds, payload, blocks))
+        end_state = local.bit_generator.state
+        if depth1:
+            blocks_list = self._pool.run_jobs([item[3] for item in staged])
+            steps = [
+                (batch, seeds, payload, blocks)
+                for (batch, seeds, payload, _), blocks in zip(
+                    staged, blocks_list
+                )
+            ]
+        else:
+            steps = staged
+        return steps, end_state
+
+    def _producer(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closed and (
+                    len(self._buffer) >= self._prefetch_epochs
+                    or self._error is not None
+                ):
+                    self._cond.wait()
+                if self._closed:
+                    return
+                if self._rewind_pending:
+                    self._local.bit_generator.state = self._resume_state
+                    self._rewind_pending = False
+                generation = self._generation
+            try:
+                produced = self._produce_epoch()
+            except BaseException as exc:  # surfaced via next_epoch
+                with self._cond:
+                    if generation == self._generation:
+                        self._error = (generation, exc)
+                        self._cond.notify_all()
+                continue
+            with self._cond:
+                if generation == self._generation:
+                    self._buffer.append(produced)
+                    self._cond.notify_all()
+                # else: staled mid-production; invalidate() already queued
+                # the rewind, so the speculative epoch is simply dropped.
+
+    # ------------------------------------------------------------------ #
+    def next_epoch(self) -> list:
+        """The next fresh epoch's ``(batch, seeds, payload, blocks)`` steps."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("prefetcher is closed")
+            if self._thread is None:
+                if self._rewind_pending:
+                    self._local.bit_generator.state = self._resume_state
+                    self._rewind_pending = False
+                steps, end_state = self._produce_epoch()
+                self._resume_state = end_state
+                return steps
+            while True:
+                if self._buffer:
+                    steps, end_state = self._buffer.popleft()
+                    self._resume_state = end_state
+                    self._cond.notify_all()
+                    return steps
+                if (
+                    self._error is not None
+                    and self._error[0] == self._generation
+                ):
+                    exc = self._error[1]
+                    raise exc
+                self._cond.wait()
+
+    def invalidate(self) -> None:
+        """Discard staged epochs; resume from the last delivered state."""
+        with self._cond:
+            self._generation += 1
+            self._buffer.clear()
+            self._error = None
+            self._rewind_pending = True
+            self._cond.notify_all()
+
+    def close(self, rng: np.random.Generator | None = None) -> None:
+        """Stop the producer; sync ``rng`` to the post-delivery state."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+            self._thread = None
+        if rng is not None:
+            rng.bit_generator.state = self._resume_state

@@ -96,7 +96,7 @@ class TestCLI:
             "--cf-refresh", "3",
         ])
         assert args.cf_backend == "ann"
-        assert args.cf_refresh == 3
+        assert args.cf_refresh_epochs == 3
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--cf-backend", "bogus"])
 

@@ -1,0 +1,192 @@
+"""ExecutionConfig: the unified execution API behind run_method and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecutionConfig, FairwosConfig
+from repro.experiments import run_method
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        ExecutionConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"batch_size": 0}, "batch_size"),
+            ({"cache_epochs": 0}, "cache_epochs"),
+            ({"cf_backend": "faiss"}, "cf_backend"),
+            ({"cf_refresh_epochs": 0}, "cf_refresh_epochs"),
+            ({"cf_update": "lazy"}, "cf_update"),
+            ({"cf_update": "incremental"}, "cf_backend"),
+            ({"num_workers": -1}, "num_workers"),
+            ({"prefetch_epochs": -1}, "prefetch_epochs"),
+            ({"fanouts": ()}, "fanouts"),
+            ({"fanouts": (0,)}, "fanouts"),
+            ({"dtype": "float16"}, "float"),
+        ],
+    )
+    def test_rejects_bad_settings(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            ExecutionConfig(**kwargs).validate()
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExecutionConfig().minibatch = True
+
+    def test_fairwos_config_validates_new_knobs(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            FairwosConfig(num_workers=-1).validate()
+        with pytest.raises(ValueError, match="prefetch_epochs"):
+            FairwosConfig(prefetch_epochs=-2).validate()
+
+
+class TestCompatShim:
+    def test_flat_kwargs_emit_deprecation_warning(self, small_graph):
+        with pytest.warns(DeprecationWarning, match="ExecutionConfig"):
+            run_method(
+                "vanilla", small_graph, epochs=3, minibatch=True,
+                batch_size=64,
+            )
+
+    def test_flat_and_execution_together_error(self, small_graph):
+        with pytest.raises(ValueError, match="both"):
+            run_method(
+                "vanilla",
+                small_graph,
+                epochs=3,
+                minibatch=True,
+                execution=ExecutionConfig(minibatch=True),
+            )
+
+    @pytest.mark.parametrize("method", ["vanilla", "fairwos"])
+    def test_shim_parity_with_execution_config(self, method, small_graph):
+        """Flat kwargs and ExecutionConfig produce identical results."""
+        settings = dict(minibatch=True, fanouts=(5,), batch_size=64)
+        with pytest.warns(DeprecationWarning):
+            flat = run_method(
+                method, small_graph, epochs=6, finetune_epochs=2,
+                patience=None, seed=0, **settings,
+            )
+        config = run_method(
+            method, small_graph, epochs=6, finetune_epochs=2,
+            patience=None, seed=0, execution=ExecutionConfig(**settings),
+        )
+        assert flat.test == config.test
+        assert flat.validation == config.validation
+        assert flat.method == config.method
+
+    def test_new_knobs_have_no_flat_spelling(self, small_graph):
+        with pytest.raises(TypeError):
+            run_method("vanilla", small_graph, epochs=3, num_workers=2)
+
+
+class TestFairwosConfigConflicts:
+    """Every execution field that disagrees with an explicit FairwosConfig
+    must be rejected — including fanouts/batch_size, which the historical
+    check silently ignored."""
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("minibatch", True),
+            ("fanouts", (7,)),
+            ("batch_size", 64),
+            ("cache_epochs", 2),
+            ("finetune_minibatch", True),
+            ("cf_backend", "ann"),
+            ("cf_refresh_epochs", 3),
+            ("cf_update", "incremental"),
+            ("dtype", "float32"),
+            ("num_workers", 2),
+            ("prefetch_epochs", 2),
+        ],
+    )
+    def test_rejects_disagreeing_field(self, small_graph, field, value):
+        kwargs = {field: value}
+        if field == "cf_update":
+            kwargs["cf_backend"] = "ann"
+        with pytest.raises(ValueError, match="fairwos_config"):
+            run_method(
+                "fairwos",
+                small_graph,
+                fairwos_config=FairwosConfig(),
+                execution=ExecutionConfig(**kwargs),
+            )
+
+    def test_agreeing_fields_pass(self, small_graph):
+        """Execution values that match the config are not conflicts."""
+        config = FairwosConfig(
+            minibatch=True, batch_size=64,
+            encoder_epochs=3, classifier_epochs=3, finetune_epochs=2,
+        )
+        result = run_method(
+            "fairwos",
+            small_graph,
+            fairwos_config=config,
+            execution=ExecutionConfig(minibatch=True, batch_size=64),
+        )
+        assert 0.0 <= result.test.accuracy <= 1.0
+
+    def test_legacy_flat_conflicts_still_raise(self, small_graph):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="fairwos_config"):
+                run_method(
+                    "fairwos", small_graph,
+                    fairwos_config=FairwosConfig(), cf_backend="ann",
+                )
+
+
+class TestCliDerivation:
+    def test_run_flags_derive_from_table(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            [
+                "run", "--method", "vanilla", "--minibatch",
+                "--fanout", "10,5", "--batch-size", "256",
+                "--num-workers", "4", "--prefetch-epochs", "2",
+                "--cf-refresh", "3", "--dtype", "float32",
+            ]
+        )
+        execution = ExecutionConfig(
+            **{
+                name: getattr(args, name)
+                for name, _ in ExecutionConfig.cli_flags()
+            }
+        )
+        assert execution.minibatch is True
+        assert execution.fanouts == (10, 5)
+        assert execution.batch_size == 256
+        assert execution.num_workers == 4
+        assert execution.prefetch_epochs == 2
+        assert execution.cf_refresh_epochs == 3
+        assert execution.dtype == "float32"
+        execution.validate()
+
+    def test_every_table_row_is_a_config_field(self):
+        names = ExecutionConfig.field_names()
+        for field_name, spec in ExecutionConfig.cli_flags():
+            assert field_name in names
+            assert spec["flag"].startswith("--")
+
+    def test_save_persists_execution(self, small_graph, tmp_path):
+        from repro.experiments import run_method as _run
+        from repro.io import load_artifact, save_artifact
+
+        execution = ExecutionConfig(minibatch=True, batch_size=64)
+        result = _run(
+            "vanilla", small_graph, epochs=3, execution=execution,
+            keep_model=True,
+        )
+        path = save_artifact(
+            result.extra["model"], small_graph, tmp_path / "art",
+            execution=execution,
+        )
+        artifact = load_artifact(path)
+        assert artifact.execution["minibatch"] is True
+        assert artifact.execution["batch_size"] == 64
+        assert artifact.execution["num_workers"] == 0
