@@ -119,16 +119,32 @@ def correlation_with_vector(matrix: np.ndarray, vector: np.ndarray) -> np.ndarra
     features (RemoveR) and to audit how much each feature leaks the
     sensitive attribute.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
+    matrix = np.asarray(matrix)
     vector = np.asarray(vector, dtype=np.float64).reshape(-1)
     if matrix.shape[0] != vector.shape[0]:
         raise ValueError(
             f"row mismatch: matrix has {matrix.shape[0]}, vector {vector.shape[0]}"
         )
-    centered = matrix - matrix.mean(axis=0, keepdims=True)
     v_centered = vector - vector.mean()
-    column_norms = np.sqrt((centered**2).sum(axis=0))
     v_norm = np.sqrt((v_centered**2).sum())
+    if matrix.dtype == np.float64:
+        return _column_correlations(matrix, v_centered, v_norm)
+    # Non-float64 matrices (float32 graphs, mmap-backed features) are
+    # accumulated in float64 one column block at a time, so the peak extra
+    # memory is one (N, 256) block rather than a full upcast copy.
+    out = np.empty(matrix.shape[1])
+    for start in range(0, matrix.shape[1], 256):
+        block = matrix[:, start : start + 256].astype(np.float64)
+        out[start : start + 256] = _column_correlations(block, v_centered, v_norm)
+    return out
+
+
+def _column_correlations(
+    matrix: np.ndarray, v_centered: np.ndarray, v_norm: float
+) -> np.ndarray:
+    """Clipped per-column Pearson r against an already-centred vector."""
+    centered = matrix - matrix.mean(axis=0, keepdims=True)
+    column_norms = np.sqrt((centered**2).sum(axis=0))
     denom = column_norms * v_norm
     with np.errstate(invalid="ignore", divide="ignore"):
         corr = (centered * v_centered[:, None]).sum(axis=0) / denom

@@ -23,7 +23,12 @@ def pca(data: np.ndarray, num_components: int) -> tuple[np.ndarray, np.ndarray]:
         ``(N, num_components)`` scores and the fraction of variance each
         component explains.
     """
-    data = np.asarray(data, dtype=np.float64)
+    # float32 inputs (the mmap/low-memory graph path) are kept in their
+    # native dtype — LAPACK has a single-precision SVD — so the full matrix
+    # is never upcast; anything non-float still lands on float64.
+    data = np.asarray(data)
+    if data.dtype not in (np.float32, np.float64):
+        data = data.astype(np.float64)
     if data.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
     max_components = min(data.shape)

@@ -32,7 +32,10 @@ def _calibrate_affinities(
     target_entropy = np.log(perplexity)
     affinities = np.zeros((n, n))
     for i in range(n):
-        row = np.delete(sq_distances[i], i)
+        # One row at a time in float64: keeps the bisection and the
+        # 1e-300 log guard exact even when the distance matrix is float32
+        # (a no-op copy when it is already float64).
+        row = np.delete(sq_distances[i], i).astype(np.float64)
         low, high = 1e-20, 1e20
         beta = 1.0
         for _ in range(64):
@@ -52,7 +55,7 @@ def _calibrate_affinities(
             else:
                 high = beta
                 beta = beta / 2.0 if low <= 1e-20 else (beta + low) / 2.0
-        weights = np.exp(-np.delete(sq_distances[i], i) * beta)
+        weights = np.exp(-row * beta)
         probs = weights / max(weights.sum(), 1e-300)
         affinities[i, np.arange(n) != i] = probs
     return affinities
@@ -73,7 +76,13 @@ def tsne(
     Returns an ``(N, num_components)`` embedding, PCA-initialised for
     determinism given the rng (rng only jitters the init).
     """
-    data = np.asarray(data, dtype=np.float64)
+    # Keep float32 inputs in float32 — the (N, F) matrix and the (N, N)
+    # distance matrix stay at native precision instead of doubling in
+    # memory; affinity calibration upcasts one row at a time, and the
+    # descent runs on the (N, 2) embedding (float64 after the init jitter).
+    data = np.asarray(data)
+    if data.dtype not in (np.float32, np.float64):
+        data = data.astype(np.float64)
     n = data.shape[0]
     if n < 5:
         raise ValueError(f"need at least 5 points, got {n}")

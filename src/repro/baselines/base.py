@@ -83,11 +83,21 @@ class BaselineMethod:
         self.feature_columns_: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, graph: Graph, seed: int = 0) -> MethodResult:
-        """Train on ``graph`` and evaluate on its validation/test splits."""
+    def fit(
+        self, graph: Graph, seed: int = 0, keep_logits: bool = False
+    ) -> MethodResult:
+        """Train on ``graph`` and evaluate on its validation/test splits.
+
+        ``keep_logits=True`` attaches the full-graph logits as
+        ``extra["logits"]`` — consumers like the intersectional audit slice
+        them per joint subgroup.  Off by default so sweep-style callers do
+        not pin an ``(N,)`` array per retained result.
+        """
         start = time.perf_counter()
         logits, extra = self._train_logits(graph, np.random.default_rng(seed))
         seconds = time.perf_counter() - start
+        if keep_logits:
+            extra["logits"] = logits
         return MethodResult(
             method=self.name,
             test=evaluate_predictions(

@@ -35,6 +35,9 @@ Examples
     repro --method fairwos --dataset scalefree --nodes 50000 \\
         --minibatch --cf-backend ann
     repro --method ksmote --dataset scalefree --nodes 50000 --minibatch
+    python -m repro run --method vanilla --dataset-family sbm --nodes 2000 \\
+        --homophily 2.0 --mixing 0.3
+    python -m repro run --method vanilla --dataset saved/graph_dir
     python -m repro audit --dataset occupation
     python -m repro table2 --datasets nba bail --backbones gcn --scale smoke
 
@@ -51,7 +54,14 @@ import sys
 import numpy as np
 
 from repro.core import ExecutionConfig
-from repro.datasets import available_datasets, load_dataset
+from repro.datasets import (
+    GRAPH_FAMILIES,
+    available_datasets,
+    available_families,
+    dataset_cli_flags,
+    load_dataset,
+    load_family,
+)
 from repro.experiments import (
     Scale,
     available_methods,
@@ -89,12 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="train one method on one dataset")
     run_parser.add_argument("--method", choices=available_methods(), default="fairwos")
-    run_parser.add_argument(
-        "--dataset",
-        choices=available_datasets() + ["scalefree"],
-        default="nba",
-        help="benchmark dataset, or 'scalefree' for a generated large graph",
-    )
+    _add_dataset_arguments(run_parser)
     run_parser.add_argument("--backbone", default="gcn")
     run_parser.add_argument("--seed", type=int, default=0)
     run_parser.add_argument("--epochs", type=int, default=150)
@@ -114,12 +119,6 @@ def build_parser() -> argparse.ArgumentParser:
             default=getattr(exec_defaults, field_name),
             **spec,
         )
-    run_parser.add_argument(
-        "--nodes",
-        type=int,
-        default=20_000,
-        help="node count for --dataset scalefree",
-    )
     run_parser.add_argument(
         "--save",
         default=None,
@@ -209,6 +208,39 @@ def _cmd_datasets() -> str:
     return "\n".join(lines)
 
 
+def _add_dataset_arguments(
+    parser: argparse.ArgumentParser, default: str | None = "nba"
+) -> None:
+    """The dataset reference flags shared by run/score/serve.
+
+    ``--dataset`` takes any :func:`repro.datasets.load_dataset` reference —
+    a benchmark name, a graph-family key, or a saved-graph path (directories
+    written by :func:`repro.io.save_graph_mmap` load memory-mapped).  The
+    scenario knobs (``--dataset-family``/``--homophily``/``--mixing``) come
+    from the registry's declarative flag table, mirroring how the execution
+    knobs come from ``ExecutionConfig.cli_flags()``.
+    """
+    parser.add_argument(
+        "--dataset",
+        default=default,
+        help="benchmark name "
+        f"({', '.join(available_datasets())}), graph family "
+        f"({', '.join(available_families())}), or path to a saved graph "
+        "(.npz archive or save_graph_mmap directory, loaded memory-mapped)",
+    )
+    for field_name, spec in dataset_cli_flags():
+        spec = dict(spec)
+        flag = spec.pop("flag")
+        dest = "dataset_family" if field_name == "family" else field_name
+        parser.add_argument(flag, dest=dest, default=None, **spec)
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=20_000,
+        help="node count for generated graph families",
+    )
+
+
 def _add_artifact_arguments(parser: argparse.ArgumentParser) -> None:
     """Flags shared by the artifact-consuming commands (score, serve)."""
     parser.add_argument(
@@ -217,19 +249,8 @@ def _add_artifact_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="DIR",
         help="artifact directory written by `repro run --save`",
     )
-    parser.add_argument(
-        "--dataset",
-        choices=available_datasets() + ["scalefree"],
-        default=None,
-        help="score this dataset instead of the bundled training graph",
-    )
+    _add_dataset_arguments(parser, default=None)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument(
-        "--nodes",
-        type=int,
-        default=20_000,
-        help="node count for --dataset scalefree",
-    )
     parser.add_argument(
         "--batch-size",
         type=int,
@@ -271,17 +292,35 @@ def _parse_fanouts(text: str) -> tuple[int, ...]:
     return fanouts
 
 
-def _load_cli_graph(dataset: str, seed: int, nodes: int):
-    """Dataset loading shared by run/score/serve (incl. 'scalefree')."""
-    if dataset == "scalefree":
-        from repro.datasets import generate_scale_free_graph
+def _load_cli_graph(args):
+    """Dataset loading shared by run/score/serve.
 
-        return generate_scale_free_graph(nodes, seed=seed).standardized()
-    return load_dataset(dataset, seed=seed)
+    Resolution: ``--dataset-family`` wins; otherwise ``--dataset`` names a
+    family (``--nodes``/``--homophily``/``--mixing`` apply), a benchmark, or
+    a saved-graph path (both loaded as stored — the scenario knobs are
+    meaningless there and rejected rather than silently dropped).
+    """
+    family = args.dataset_family
+    if family is None and args.dataset.lower().replace("-", "_") in GRAPH_FAMILIES:
+        family = args.dataset
+    if family is not None:
+        return load_family(
+            family,
+            num_nodes=args.nodes,
+            seed=args.seed,
+            homophily=args.homophily,
+            mixing=args.mixing,
+        )
+    if args.homophily is not None or args.mixing is not None:
+        raise SystemExit(
+            f"--homophily/--mixing only apply to graph families "
+            f"({', '.join(available_families())}), not {args.dataset!r}"
+        )
+    return load_dataset(args.dataset, seed=args.seed)
 
 
 def _cmd_run(args) -> str:
-    graph = _load_cli_graph(args.dataset, args.seed, args.nodes)
+    graph = _load_cli_graph(args)
     execution = ExecutionConfig(
         **{
             field_name: getattr(args, field_name)
@@ -322,7 +361,7 @@ def _cmd_run(args) -> str:
     if execution.backend != "numpy":
         mode += f", backend={execution.backend}"
     output = (
-        f"{result.method} on {args.dataset} ({args.backbone}, seed {args.seed}"
+        f"{result.method} on {graph.name} ({args.backbone}, seed {args.seed}"
         f"{mode}):\n  {result.test}\n  trained in {result.seconds:.1f}s"
     )
     if args.save is not None:
@@ -362,8 +401,8 @@ def _cmd_score(args) -> str:
                 + " ".join(f"{k}={v}" for k, v in sorted(shown.items()))
             )
     graph = None
-    if args.dataset is not None:
-        graph = _load_cli_graph(args.dataset, args.seed, args.nodes)
+    if args.dataset is not None or args.dataset_family is not None:
+        graph = _load_cli_graph(args)
         if not artifact.matches(graph):
             lines.append(
                 "  note: scored graph differs from the training dataset "
@@ -450,8 +489,8 @@ def _cmd_serve(args, stdin=None) -> str:
 
     artifact = load_artifact(args.artifact)
     graph = None
-    if args.dataset is not None:
-        graph = _load_cli_graph(args.dataset, args.seed, args.nodes)
+    if args.dataset is not None or args.dataset_family is not None:
+        graph = _load_cli_graph(args)
     stream = stdin if stdin is not None else sys.stdin
     print(
         f"serving {artifact.method_name} artifact at {artifact.path} — "

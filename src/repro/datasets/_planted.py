@@ -1,0 +1,141 @@
+"""Shared node-level bias mechanism for the synthetic graph families.
+
+Every generator in this package tells the same causal story — a sensitive
+group ``s`` shifts proxy feature columns, biases the label logit and (at the
+edge level, which stays family-specific) boosts same-group edge formation.
+This module owns the *node-level* part of that story once, so the scale-free,
+Erdős–Rényi and SBM generators plant identical bias given identical
+parameters and differ only in their edge structure.
+
+The draw order inside :func:`plant_node_bias` is frozen: it reproduces the
+historical inline sequence of ``generate_scale_free_graph`` bit-for-bit
+(sensitive → merit → label weights → labels → readout → column permutation →
+feature noise), so extracting it changed no generated dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PlantedNodes", "plant_node_bias", "sigmoid", "sample_rejection_edges"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically clipped logistic function."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
+
+
+@dataclass
+class PlantedNodes:
+    """Node-level quantities produced by :func:`plant_node_bias`.
+
+    ``merit`` is the latent confounder; generators may reuse it to plant
+    additional feature-correlated attributes (e.g. a second sensitive
+    attribute for intersectional audits) *after* all shared draws.
+    """
+
+    sensitive: np.ndarray
+    labels: np.ndarray
+    features: np.ndarray
+    merit: np.ndarray
+    proxy_columns: np.ndarray
+    signal_columns: np.ndarray
+
+
+def plant_node_bias(
+    rng: np.random.Generator,
+    num_nodes: int,
+    num_features: int,
+    *,
+    group_balance: float,
+    label_bias: float,
+    proxy_fraction: float,
+    proxy_strength: float,
+    label_signal_strength: float,
+    latent_dim: int,
+    feature_noise: float,
+    sensitive: np.ndarray | None = None,
+    merit_offset: np.ndarray | None = None,
+) -> PlantedNodes:
+    """Draw sensitive groups, labels and biased features for one graph.
+
+    Parameters
+    ----------
+    rng:
+        Generator consumed in the frozen draw order documented above.
+    num_nodes, num_features:
+        Output dimensions.
+    group_balance, label_bias, proxy_fraction, proxy_strength,
+    label_signal_strength, latent_dim, feature_noise:
+        Bias mechanism, as in :class:`repro.datasets.causal.BiasSpec`.
+    sensitive:
+        Pre-assigned group memberships (the SBM derives them from community
+        structure).  ``None`` draws them i.i.d. from ``group_balance``; note
+        a provided array skips that draw, shifting the stream for all later
+        draws — only new generators may pass it.
+    merit_offset:
+        Optional ``(num_nodes, latent_dim)`` shift added to the latent merit
+        before labels/features are derived (community signal in the SBM).
+    """
+    if sensitive is None:
+        sensitive = (rng.random(num_nodes) < group_balance).astype(np.int64)
+    else:
+        sensitive = np.asarray(sensitive, dtype=np.int64)
+    merit = rng.normal(size=(num_nodes, latent_dim))
+    if merit_offset is not None:
+        merit = merit + merit_offset
+    label_weights = rng.normal(size=latent_dim) / np.sqrt(latent_dim)
+    logits = merit @ label_weights + label_bias * (2.0 * sensitive - 1.0)
+    labels = (rng.random(num_nodes) < sigmoid(logits)).astype(np.int64)
+
+    readout = rng.normal(size=(latent_dim, num_features)) / np.sqrt(latent_dim)
+    features = merit @ readout
+    columns = rng.permutation(num_features)
+    n_proxy = min(max(1, int(round(proxy_fraction * num_features))), num_features - 1)
+    proxy_columns = np.sort(columns[:n_proxy])
+    n_signal = max(1, (num_features - n_proxy) // 2)
+    signal_columns = np.sort(columns[n_proxy : n_proxy + n_signal])
+    features[:, proxy_columns] += proxy_strength * (2.0 * sensitive - 1.0)[:, None]
+    features[:, signal_columns] += (
+        label_signal_strength * (2.0 * labels - 1.0)[:, None]
+    )
+    features += rng.normal(scale=feature_noise, size=features.shape)
+    return PlantedNodes(
+        sensitive=sensitive,
+        labels=labels,
+        features=features,
+        merit=merit,
+        proxy_columns=proxy_columns,
+        signal_columns=signal_columns,
+    )
+
+
+def sample_rejection_edges(
+    src: np.ndarray,
+    dst: np.ndarray,
+    sensitive: np.ndarray,
+    group_homophily: float,
+    num_nodes: int,
+    target_edges: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Homophilous rejection + dedup shared by the ER and SBM samplers.
+
+    Candidate edges ``(src, dst)`` are filtered in O(E): self-loops dropped,
+    cross-group candidates accepted with probability
+    ``1 / (1 + group_homophily)``, duplicates removed after canonicalising
+    endpoint order, and the survivors shuffled and truncated to
+    ``target_edges``.  Returns the ``(lo, hi)`` endpoint arrays.
+    """
+    keep = src != dst
+    same_group = sensitive[src] == sensitive[dst]
+    acceptance_floor = 1.0 / (1.0 + group_homophily)
+    accept_prob = np.where(same_group, 1.0, acceptance_floor)
+    keep &= rng.random(src.size) < accept_prob
+    src, dst = src[keep], dst[keep]
+    lo, hi = np.minimum(src, dst), np.maximum(src, dst)
+    pairs = np.unique(lo.astype(np.int64) * num_nodes + hi)
+    pairs = pairs[rng.permutation(pairs.size)][:target_edges]
+    return pairs // num_nodes, pairs % num_nodes

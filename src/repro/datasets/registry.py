@@ -1,24 +1,43 @@
-"""Named datasets matched to the paper's Table I.
+"""One registry surface for every way the repo can produce a graph.
 
-Each :class:`DatasetSpec` records the real dataset's published statistics
-(nodes, attributes, average degree, sensitive attribute, task) alongside the
-scaled-down size we actually generate, plus the bias parameters chosen so
-the *phenomenology* matches what the paper reports for that dataset — e.g.
-NBA shows very large vanilla ΔSP (≈28%), Pokec-n a small one (≈1–3%).
+Three sources share the single :func:`load_dataset` entry point:
+
+* **Named benchmarks** — each :class:`DatasetSpec` records a real dataset's
+  published statistics (nodes, attributes, average degree, sensitive
+  attribute, task) alongside the scaled-down size we actually generate,
+  plus the bias parameters chosen so the *phenomenology* matches what the
+  paper reports for that dataset — e.g. NBA shows very large vanilla ΔSP
+  (≈28%), Pokec-n a small one (≈1–3%).
+* **Graph families** — the parametric O(E) generators (:data:`GRAPH_FAMILIES`:
+  scale-free, Erdős–Rényi, SBM), addressed by family name with keyword
+  parameters passed through; :func:`load_family` adds the scenario-level
+  ``homophily`` / ``mixing`` aliases the CLI exposes.
+* **Saved graphs** — a path to a :func:`repro.io.save_graph` archive or a
+  :func:`repro.io.save_graph_mmap` directory (directories are opened with
+  ``mmap=True`` so a 1M-node artifact never fully materialises).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
 
 from repro.datasets.causal import BiasSpec, generate_biased_graph
+from repro.datasets.erdos_renyi import generate_erdos_renyi_graph
+from repro.datasets.sbm import generate_sbm_graph
+from repro.datasets.scalefree import generate_scale_free_graph
 from repro.graph import Graph
 
 __all__ = [
     "DatasetSpec",
     "DATASET_SPECS",
+    "GRAPH_FAMILIES",
     "available_datasets",
+    "available_families",
     "load_dataset",
+    "load_family",
+    "dataset_cli_flags",
     "dataset_statistics_rows",
 ]
 
@@ -203,29 +222,176 @@ DATASET_SPECS: dict[str, DatasetSpec] = {
 }
 
 
+# Parametric generators addressable by family name.  All three share the
+# planted-bias mechanism of ``datasets._planted`` and O(nodes + edges)
+# sampling; they differ only in edge structure (degree-heavy-tailed vs
+# uniform vs community-blocked), which is exactly the axis the scenario
+# matrix varies.
+GRAPH_FAMILIES: dict[str, Callable[..., Graph]] = {
+    "scalefree": generate_scale_free_graph,
+    "erdos_renyi": generate_erdos_renyi_graph,
+    "sbm": generate_sbm_graph,
+}
+
+
+# ``repro run`` dataset flag table, mirroring ``_EXECUTION_CLI_FLAGS``: one
+# declarative (load_family kwarg, argparse spec) row per scenario knob.  All
+# default to ``None`` = "use the generator's own default"; adding a scenario
+# knob means adding a row here, not another add_argument call in the CLI.
+_DATASET_CLI_FLAGS: tuple = (
+    (
+        "family",
+        {
+            "flag": "--dataset-family",
+            "choices": sorted(GRAPH_FAMILIES),
+            "help": "generate from a parametric graph family instead of --dataset",
+        },
+    ),
+    (
+        "homophily",
+        {
+            "flag": "--homophily",
+            "type": float,
+            "help": "same-group edge acceptance boost (family generators)",
+        },
+    ),
+    (
+        "mixing",
+        {
+            "flag": "--mixing",
+            "type": float,
+            "help": "sensitive-attribute mixing across communities (sbm only)",
+        },
+    ),
+)
+
+
 def available_datasets() -> list[str]:
-    """Names accepted by :func:`load_dataset`."""
+    """Named-benchmark keys accepted by :func:`load_dataset`."""
     return sorted(DATASET_SPECS)
 
 
-def load_dataset(name: str, seed: int = 0, standardize: bool = True) -> Graph:
-    """Generate the named dataset's synthetic equivalent.
+def available_families() -> list[str]:
+    """Graph-family keys accepted by :func:`load_dataset` / :func:`load_family`."""
+    return sorted(GRAPH_FAMILIES)
+
+
+def dataset_cli_flags() -> tuple:
+    """The ``(load_family kwarg, argparse spec)`` table behind ``repro run``."""
+    return _DATASET_CLI_FLAGS
+
+
+def load_family(
+    family: str,
+    num_nodes: int = 2000,
+    seed: int = 0,
+    standardize: bool = True,
+    homophily: float | None = None,
+    mixing: float | None = None,
+    **params,
+) -> Graph:
+    """Generate a graph from one of :data:`GRAPH_FAMILIES`.
+
+    Parameters
+    ----------
+    family:
+        One of :func:`available_families`.
+    num_nodes, seed:
+        Size and generation seed (same re-draw semantics as
+        :func:`load_dataset`).
+    standardize:
+        Z-score feature columns (recommended for the numpy training stack).
+    homophily:
+        Scenario-level alias for every family's ``group_homophily``.
+    mixing:
+        Scenario-level alias for the SBM's ``sensitive_mixing``; rejected
+        for families without community structure.
+    params:
+        Passed through to the family generator verbatim (e.g.
+        ``extra_sensitive_attrs``, ``average_degree``).
+    """
+    key = family.lower().replace("-", "_")
+    if key not in GRAPH_FAMILIES:
+        raise KeyError(
+            f"unknown graph family {family!r}; available: {available_families()}"
+        )
+    if homophily is not None:
+        params["group_homophily"] = homophily
+    if mixing is not None:
+        if key != "sbm":
+            raise ValueError(
+                f"mixing only applies to the sbm family, not {family!r}"
+            )
+        params["sensitive_mixing"] = mixing
+    graph = GRAPH_FAMILIES[key](num_nodes, seed=seed, **params)
+    return graph.standardized() if standardize else graph
+
+
+def _looks_like_path(name: str) -> bool:
+    """Heuristic split between registry keys and filesystem references."""
+    return (
+        "/" in name
+        or name.endswith(".npz")
+        or name in (".", "..")
+        or Path(name).exists()
+    )
+
+
+def _load_saved_graph(name: str) -> Graph:
+    from repro.io import load_graph
+
+    path = Path(name)
+    if not path.exists():
+        raise KeyError(
+            f"unknown dataset {name!r}: not a registry key and no such path; "
+            f"available: {available_datasets() + available_families()}"
+        )
+    # Directories are the save_graph_mmap layout: open the big arrays
+    # memory-mapped so loading a 1M-node artifact stays cheap.
+    return load_graph(path, mmap=path.is_dir())
+
+
+def load_dataset(
+    name: str, seed: int = 0, standardize: bool = True, **family_params
+) -> Graph:
+    """Resolve any dataset reference: benchmark name, family, or saved path.
 
     Parameters
     ----------
     name:
         One of :func:`available_datasets` (case-insensitive; "pokec-z" and
-        "pokec_z" both work).
+        "pokec_z" both work), a graph-family key from
+        :func:`available_families` (extra keyword arguments reach the
+        generator, see :func:`load_family`), or a filesystem path to a graph
+        saved with :func:`repro.io.save_graph` /
+        :func:`repro.io.save_graph_mmap` (directories load memory-mapped).
     seed:
         Generation seed; different seeds give i.i.d. re-draws from the same
         causal model (the paper instead re-splits a fixed graph — re-drawing
-        is the honest analogue for a generator).
+        is the honest analogue for a generator).  Ignored for saved paths,
+        which are immutable artifacts.
     standardize:
         Z-score feature columns (recommended for the numpy training stack).
+        Ignored for saved paths: they are returned exactly as stored, so a
+        graph standardized before saving is not standardized twice.
     """
     key = name.lower().replace("-", "_")
+    if key in GRAPH_FAMILIES:
+        return load_family(key, seed=seed, standardize=standardize, **family_params)
     if key not in DATASET_SPECS:
-        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+        # Registry keys always win; only non-keys fall through to the
+        # filesystem, so a stray local file can never shadow "bail".
+        if _looks_like_path(name):
+            return _load_saved_graph(name)
+        raise KeyError(
+            f"unknown dataset {name!r}; available: "
+            f"{available_datasets() + available_families()}"
+        )
+    if family_params:
+        raise TypeError(
+            f"named dataset {name!r} takes no generator parameters "
+            f"(got {sorted(family_params)}); use a graph family instead"
+        )
     graph = DATASET_SPECS[key].generate(seed=seed)
     return graph.standardized() if standardize else graph
 

@@ -18,14 +18,11 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.datasets._planted import plant_node_bias
 from repro.datasets.splits import random_split_masks
 from repro.graph import Graph
 
 __all__ = ["generate_scale_free_graph"]
-
-
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))
 
 
 def _power_law_weights(
@@ -55,6 +52,7 @@ def generate_scale_free_graph(
     name: str = "scalefree",
     train_fraction: float = 0.5,
     val_fraction: float = 0.25,
+    extra_sensitive_attrs: int = 0,
 ) -> Graph:
     """Generate a scale-free :class:`~repro.graph.Graph` with planted bias.
 
@@ -73,6 +71,13 @@ def generate_scale_free_graph(
         likely to be accepted than cross-group ones.
     seed, name, train_fraction, val_fraction:
         Reproducibility / bookkeeping, as in the causal generator.
+    extra_sensitive_attrs:
+        Additional planted binary attributes for intersectional audits,
+        stored under ``meta["extra_sensitive"]`` as ``{"attr1": ..., ...}``.
+        Each is thresholded from a fresh random direction of the latent
+        merit (so it correlates with features and predictions without being
+        a copy of ``s``).  Drawn *after* every other random draw, so the
+        default ``0`` generates bit-identical graphs to older versions.
     """
     if num_nodes < 10:
         raise ValueError(f"need at least 10 nodes, got {num_nodes}")
@@ -86,27 +91,25 @@ def generate_scale_free_graph(
         raise ValueError(f"average_degree must be positive, got {average_degree}")
     if group_homophily < 0:
         raise ValueError("group_homophily must be non-negative")
+    if extra_sensitive_attrs < 0:
+        raise ValueError("extra_sensitive_attrs must be non-negative")
     rng = np.random.default_rng(seed)
 
     # -- node-level quantities (identical story to the causal generator) -- #
-    sensitive = (rng.random(num_nodes) < group_balance).astype(np.int64)
-    merit = rng.normal(size=(num_nodes, latent_dim))
-    label_weights = rng.normal(size=latent_dim) / np.sqrt(latent_dim)
-    logits = merit @ label_weights + label_bias * (2.0 * sensitive - 1.0)
-    labels = (rng.random(num_nodes) < _sigmoid(logits)).astype(np.int64)
-
-    readout = rng.normal(size=(latent_dim, num_features)) / np.sqrt(latent_dim)
-    features = merit @ readout
-    columns = rng.permutation(num_features)
-    n_proxy = min(max(1, int(round(proxy_fraction * num_features))), num_features - 1)
-    proxy_columns = np.sort(columns[:n_proxy])
-    n_signal = max(1, (num_features - n_proxy) // 2)
-    signal_columns = np.sort(columns[n_proxy : n_proxy + n_signal])
-    features[:, proxy_columns] += proxy_strength * (2.0 * sensitive - 1.0)[:, None]
-    features[:, signal_columns] += (
-        label_signal_strength * (2.0 * labels - 1.0)[:, None]
+    nodes = plant_node_bias(
+        rng,
+        num_nodes,
+        num_features,
+        group_balance=group_balance,
+        label_bias=label_bias,
+        proxy_fraction=proxy_fraction,
+        proxy_strength=proxy_strength,
+        label_signal_strength=label_signal_strength,
+        latent_dim=latent_dim,
+        feature_noise=feature_noise,
     )
-    features += rng.normal(scale=feature_noise, size=features.shape)
+    sensitive, labels, features = nodes.sensitive, nodes.labels, nodes.features
+    proxy_columns, signal_columns = nodes.proxy_columns, nodes.signal_columns
 
     # -- Chung–Lu edge sampling with homophilous rejection --------------- #
     weights = _power_law_weights(num_nodes, power_law_exponent, rng)
@@ -137,6 +140,15 @@ def generate_scale_free_graph(
     train_mask, val_mask, test_mask = random_split_masks(
         num_nodes, rng, train_fraction=train_fraction, val_fraction=val_fraction
     )
+    # Extra planted attributes draw last so extra_sensitive_attrs=0 keeps
+    # every array above bit-identical to historical output.
+    extra_sensitive: dict[str, np.ndarray] = {}
+    for i in range(extra_sensitive_attrs):
+        direction = rng.normal(size=latent_dim) / np.sqrt(latent_dim)
+        noise = rng.normal(scale=0.5, size=num_nodes)
+        extra_sensitive[f"attr{i + 1}"] = (
+            nodes.merit @ direction + noise > 0.0
+        ).astype(np.int64)
     return Graph(
         adjacency=adjacency,
         features=features,
@@ -154,5 +166,6 @@ def generate_scale_free_graph(
             "target_average_degree": average_degree,
             "group_homophily": group_homophily,
             "signal_columns": signal_columns,
+            **({"extra_sensitive": extra_sensitive} if extra_sensitive else {}),
         },
     )

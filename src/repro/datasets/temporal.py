@@ -1,0 +1,113 @@
+"""Temporal edge-stream wrapper: replay a static graph as arrival batches.
+
+Any generated :class:`~repro.graph.Graph` can be replayed as a stream of
+timestamped edge-arrival batches — the dynamic-graph view of the scenario
+matrix.  Each unique undirected edge is assigned one arrival timestamp
+(uniform over ``num_batches`` ticks, seeded independently of the generator
+so the same graph can be replayed under different arrival orders), and
+:meth:`TemporalEdgeStream.snapshot` materialises the prefix graph containing
+every edge that has arrived by a given tick.  Snapshots share the node-level
+arrays (features, labels, masks) with the source graph, so streaming audits
+like :func:`repro.fairness.audit.audit_prediction_windows` can track how
+bias metrics evolve as the structure densifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph import Graph
+
+__all__ = ["EdgeBatch", "TemporalEdgeStream"]
+
+
+@dataclass(frozen=True)
+class EdgeBatch:
+    """One tick of edge arrivals: undirected endpoint arrays ``(src, dst)``."""
+
+    timestamp: int
+    src: np.ndarray
+    dst: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.src.size)
+
+
+@dataclass
+class TemporalEdgeStream:
+    """Replay ``graph``'s edges as ``num_batches`` timestamped arrival batches.
+
+    Arrival timestamps are drawn from an independent ``default_rng(seed)``
+    stream, so replays are deterministic per seed and never perturb the
+    source graph's own RNG discipline.
+    """
+
+    graph: Graph
+    num_batches: int = 10
+    seed: int = 0
+    _lo: np.ndarray = field(init=False, repr=False)
+    _hi: np.ndarray = field(init=False, repr=False)
+    _arrival: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_batches < 1:
+            raise ValueError(f"need at least 1 batch, got {self.num_batches}")
+        coo = self.graph.adjacency.tocoo()
+        upper = coo.row < coo.col
+        self._lo = coo.row[upper].astype(np.int64)
+        self._hi = coo.col[upper].astype(np.int64)
+        rng = np.random.default_rng(self.seed)
+        self._arrival = rng.integers(self.num_batches, size=self._lo.size)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._lo.size)
+
+    def batch(self, timestamp: int) -> EdgeBatch:
+        """Edges arriving exactly at ``timestamp`` (0-based tick)."""
+        if not 0 <= timestamp < self.num_batches:
+            raise ValueError(
+                f"timestamp must be in [0, {self.num_batches}), got {timestamp}"
+            )
+        mask = self._arrival == timestamp
+        return EdgeBatch(
+            timestamp=timestamp, src=self._lo[mask], dst=self._hi[mask]
+        )
+
+    def batches(self) -> list[EdgeBatch]:
+        """All arrival batches in timestamp order."""
+        return [self.batch(t) for t in range(self.num_batches)]
+
+    def snapshot(self, timestamp: int) -> Graph:
+        """Prefix graph with every edge arrived by ``timestamp`` (inclusive).
+
+        Node-level arrays are shared with the source graph (no copies); only
+        the adjacency is rebuilt from the arrived edge set.
+        """
+        if not 0 <= timestamp < self.num_batches:
+            raise ValueError(
+                f"timestamp must be in [0, {self.num_batches}), got {timestamp}"
+            )
+        mask = self._arrival <= timestamp
+        lo, hi = self._lo[mask], self._hi[mask]
+        rows = np.concatenate([lo, hi])
+        cols = np.concatenate([hi, lo])
+        n = self.graph.num_nodes
+        adjacency = sp.csr_matrix((np.ones(rows.size), (rows, cols)), shape=(n, n))
+        g = self.graph
+        return Graph(
+            adjacency=adjacency,
+            features=g.features,
+            labels=g.labels,
+            sensitive=g.sensitive,
+            train_mask=g.train_mask,
+            val_mask=g.val_mask,
+            test_mask=g.test_mask,
+            related_feature_indices=g.related_feature_indices,
+            name=f"{g.name}@t{timestamp}",
+            meta={**g.meta, "snapshot_timestamp": timestamp},
+        )

@@ -14,6 +14,15 @@ from repro.experiments.methods import (
 )
 from repro.experiments.table1_datasets import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.linkpred import make_link_split, run_linkpred_method
+from repro.experiments.scenario import (
+    Scenario,
+    ScenarioCellResult,
+    format_scenario_matrix,
+    run_scenario_cell,
+    run_scenario_matrix,
+    run_scenario_method,
+)
 from repro.experiments.fig4_ablation import format_fig4, run_fig4
 from repro.experiments.fig5_encoder_dim import format_fig5, run_fig5
 from repro.experiments.fig6_hyperparam import format_fig6, run_fig6
@@ -40,6 +49,14 @@ __all__ = [
     "format_table1",
     "run_table2",
     "format_table2",
+    "make_link_split",
+    "run_linkpred_method",
+    "Scenario",
+    "ScenarioCellResult",
+    "run_scenario_method",
+    "run_scenario_cell",
+    "run_scenario_matrix",
+    "format_scenario_matrix",
     "run_fig4",
     "format_fig4",
     "run_fig5",

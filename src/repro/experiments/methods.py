@@ -105,6 +105,7 @@ def run_method(
     dtype=_UNSET,
     backend=_UNSET,
     keep_model: bool = False,
+    keep_logits: bool = False,
 ) -> MethodResult:
     """Train one method and return its evaluation.
 
@@ -163,6 +164,10 @@ def run_method(
         persist it with :func:`repro.io.save_artifact` (the CLI's
         ``run --save``).  Off by default: sweep-style callers run many
         methods and must not pin every model in memory.
+    keep_logits:
+        Attach the full-graph test-time logits as ``result.extra["logits"]``
+        (the intersectional audit slices them per joint subgroup).  Off by
+        default for the same memory reason as ``keep_model``.
     """
     flat = {
         name: value
@@ -223,7 +228,7 @@ def run_method(
         )
         runner = baseline_classes[key](**kwargs)
         with backend_scope(execution.backend), dtype_scope(execution.dtype):
-            result = runner.fit(graph, seed=seed)
+            result = runner.fit(graph, seed=seed, keep_logits=keep_logits)
         if keep_model:
             result.extra["model"] = runner
         return result
@@ -284,6 +289,9 @@ def run_method(
     }
     if keep_model:
         extra["model"] = trainer
+    if keep_logits:
+        # predict() re-enters the config's backend/dtype scopes itself.
+        extra["logits"] = trainer.predict(graph)
     return MethodResult(
         method="Fairwos",
         test=result.test,

@@ -9,10 +9,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.datasets import load_dataset
-from repro.experiments.aggregate import MetricSummary, summarize
-from repro.experiments.methods import METHOD_ORDER, display_name, run_method
+from repro.experiments.aggregate import MetricSummary
+from repro.experiments.methods import METHOD_ORDER, display_name
 from repro.experiments.scale import Scale
+from repro.experiments.scenario import Scenario, run_scenario_cell
 
 __all__ = ["Table2Result", "run_table2", "format_table2", "PAPER_TABLE2_GCN"]
 
@@ -48,7 +48,13 @@ def run_table2(
     methods: list[str] | None = None,
     scale: Scale | None = None,
 ) -> Table2Result:
-    """Run the Table II grid and aggregate over seeds."""
+    """Run the Table II grid and aggregate over seeds.
+
+    Each (dataset, backbone) pair is one node-classification scenario cell
+    run through :func:`~repro.experiments.scenario.run_scenario_cell`; the
+    shared runner preserves this harness's historical loop order (method
+    outer, seed inner, graph re-loaded per run), so results are unchanged.
+    """
     datasets = datasets or ["bail", "credit", "pokec_z", "pokec_n", "nba", "occupation"]
     backbones = backbones or ["gcn", "gin"]
     methods = methods or list(METHOD_ORDER)
@@ -56,22 +62,14 @@ def run_table2(
     result = Table2Result(datasets=datasets, backbones=backbones, methods=methods)
     for dataset in datasets:
         for backbone in backbones:
+            cell = run_scenario_cell(
+                Scenario(dataset=dataset),
+                methods=methods,
+                backbone=backbone,
+                scale=scale,
+            )
             for method in methods:
-                runs = []
-                for seed in range(scale.seeds):
-                    graph = load_dataset(dataset, seed=seed)
-                    runs.append(
-                        run_method(
-                            method,
-                            graph,
-                            backbone=backbone,
-                            seed=seed,
-                            epochs=scale.epochs,
-                            finetune_epochs=scale.finetune_epochs,
-                            patience=scale.patience,
-                        )
-                    )
-                result.cells[(dataset, backbone, method)] = summarize(runs)
+                result.cells[(dataset, backbone, method)] = cell.summaries[method]
     return result
 
 

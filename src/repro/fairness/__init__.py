@@ -13,6 +13,11 @@ from repro.fairness.metrics import (
 )
 from repro.fairness.evaluation import EvalResult, evaluate_predictions
 from repro.fairness.audit import BiasAudit, audit_graph, audit_predictions
+from repro.fairness.intersectional import (
+    IntersectionalAudit,
+    JointCell,
+    audit_intersectional,
+)
 
 __all__ = [
     "accuracy",
@@ -29,4 +34,7 @@ __all__ = [
     "BiasAudit",
     "audit_graph",
     "audit_predictions",
+    "IntersectionalAudit",
+    "JointCell",
+    "audit_intersectional",
 ]

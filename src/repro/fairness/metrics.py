@@ -170,7 +170,11 @@ def consistency_score(
     receive the same decision.
     """
     logits = np.asarray(logits, dtype=np.float64)
-    features = np.asarray(features, dtype=np.float64)
+    # The feature matrix keeps its native float dtype — the O(N²) distance
+    # matrix only ranks neighbours, so float32 inputs need no upcast copy.
+    features = np.asarray(features)
+    if features.dtype not in (np.float32, np.float64):
+        features = features.astype(np.float64)
     n = logits.shape[0]
     if features.shape[0] != n:
         raise ValueError(
